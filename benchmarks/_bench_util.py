@@ -1,0 +1,7 @@
+"""Benchmark-suite helper (unique module name so it never collides
+with tests/conftest.py when both directories are collected together)."""
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (figure/table), prints
+the rows, saves them under ``bench_results/`` and asserts the paper's
+qualitative claims.  ``REPRO_BENCH_FAST=1`` shrinks workloads for smoke
+runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture
+def report_sink():
+    """Write a named report to bench_results/ and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to bench_results/{name}.txt]")
+
+    return sink

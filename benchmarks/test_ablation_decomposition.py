@@ -1,0 +1,38 @@
+"""A2 — ablation: decomposition method (Tucker/CP/TT) and ratio.
+
+TeMCO's passes apply to any decomposition that ends its sequences with
+1×1 fconv/lconv layers (§5).  The sweep shows, per method and ratio:
+weight memory, factorization fit error, and the decomposed/optimized
+internal peaks — demonstrating the optimizations are method-agnostic.
+"""
+
+from repro.bench import ablate_decomposition, fast_mode, format_table
+
+from _bench_util import run_once
+
+RATIOS = (0.1, 0.5) if fast_mode() else (0.05, 0.1, 0.25, 0.5)
+METHODS = ("tucker", "tt") if fast_mode() else ("tucker", "cp", "tt")
+
+
+def test_decomposition_ablation(benchmark, report_sink):
+    points = run_once(benchmark, lambda: ablate_decomposition(
+        "unet_small", batch=2, hw=32, methods=METHODS, ratios=RATIOS))
+
+    table = [[p.method, p.ratio, p.weight_mib, p.mean_fit_error,
+              p.peak_decomposed_mib, p.peak_optimized_mib] for p in points]
+    report_sink("ablation_decomposition", format_table(
+        ["method", "ratio", "weights MiB", "fit error", "peak dec MiB",
+         "peak TeMCO MiB"], table,
+        title="A2: decomposition method/ratio sweep (unet_small, batch 2)"))
+
+    by = {(p.method, p.ratio): p for p in points}
+    for method in METHODS:
+        series = [by[(method, r)] for r in sorted(RATIOS)]
+        # more rank -> more weights, better fit
+        weights = [p.weight_mib for p in series]
+        errors = [p.mean_fit_error for p in series]
+        assert all(a <= b + 1e-9 for a, b in zip(weights, weights[1:]))
+        assert all(a >= b - 5e-2 for a, b in zip(errors, errors[1:]))
+        # TeMCO reduces the peak for every method at the paper's ratio
+        assert by[(method, 0.1)].peak_optimized_mib < \
+            by[(method, 0.1)].peak_decomposed_mib

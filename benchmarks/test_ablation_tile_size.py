@@ -1,0 +1,29 @@
+"""A4 — ablation: fused-kernel channel-block (tile) size.
+
+Listing 1's tile size T controls the fused kernel's scratch footprint
+and its efficiency: small tiles minimize memory but pay per-block
+dispatch overhead, large tiles approach a dense contraction.  The sweep
+measures both on a fused VGG variant.
+"""
+
+from repro.bench import ablate_tile_size, fast_mode, format_table
+
+from _bench_util import run_once
+
+BLOCKS = (4, 32, 256) if fast_mode() else (4, 16, 32, 64, 256)
+
+
+def test_tile_size_ablation(benchmark, report_sink):
+    points = run_once(benchmark, lambda: ablate_tile_size(
+        "vgg11", batch=4, hw=32, block_sizes=BLOCKS, repeats=2))
+
+    table = [[p.block_size, p.scratch_mib, p.seconds * 1e3] for p in points]
+    report_sink("ablation_tile_size", format_table(
+        ["block size", "scratch MiB", "time ms"], table,
+        title="A4: fused-kernel tile size (vgg11, batch 4, hw 32)"))
+
+    scratch = [p.scratch_mib for p in points]
+    # scratch grows monotonically with the tile size (until clamped)
+    assert all(a <= b + 1e-9 for a, b in zip(scratch, scratch[1:]))
+    assert scratch[0] < scratch[-1]
+    assert all(p.seconds > 0 for p in points)

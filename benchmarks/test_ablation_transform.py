@@ -1,0 +1,33 @@
+"""A3 — ablation: concat strategy (Figure 9a merge vs 9c split vs none).
+
+The paper merges lconvs for DenseNet/UNet ("Merging lconv requires more
+memory space for weights but reduces the total peak memory usage by
+reducing the number of fused kernels").  The sweep quantifies both
+directions: peak internal memory, weight growth, and kernel counts.
+"""
+
+from repro.bench import ablate_concat_strategy, fast_mode, format_table
+
+from _bench_util import run_once
+
+MODELS = ("unet_small",) if fast_mode() else ("unet_small", "densenet")
+
+
+def test_concat_strategy_ablation(benchmark, report_sink):
+    points = run_once(benchmark,
+                      lambda: ablate_concat_strategy(models=MODELS, batch=2))
+
+    table = [[p.model, p.strategy, p.peak_mib, p.weight_mib, p.fused_kernels,
+              p.node_count] for p in points]
+    report_sink("ablation_transform", format_table(
+        ["model", "strategy", "peak MiB", "weights MiB", "fused kernels",
+         "nodes"], table,
+        title="A3: concat strategy (merge=Fig.9a, split=Fig.9c)"))
+
+    by = {(p.model, p.strategy): p for p in points}
+    for model in MODELS:
+        merge, split, none = (by[(model, s)] for s in ("merge", "split", "none"))
+        # transforms help: merge beats doing nothing on concat models
+        assert merge.peak_mib <= none.peak_mib + 1e-9, model
+        # the paper's trade-off: merged weights are never smaller
+        assert merge.weight_mib >= split.weight_mib - 1e-9, model

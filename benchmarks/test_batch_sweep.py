@@ -1,0 +1,48 @@
+"""E8 — batch-size sweep: TeMCO's relative reduction is batch-invariant.
+
+Internal tensors scale linearly with batch while weights are constant,
+so the paper's batch-4 measurements generalize: the *fraction* of
+internal memory TeMCO removes should not depend on the batch size.
+This bench verifies that on three model families across batch 1–8 and
+also shows the absolute picture (weights dominate at batch 1, internal
+tensors dominate at larger batches — the regime where TeMCO matters).
+"""
+
+from repro.bench import MIB, build_variants, fast_mode, format_table, variant_names_for
+from repro.core import estimate_peak_internal
+
+from _bench_util import run_once
+
+MODELS = ("vgg16", "unet_small") if fast_mode() \
+    else ("vgg16", "resnet18", "unet_small")
+BATCHES = (1, 2, 4) if fast_mode() else (1, 2, 4, 8)
+
+
+def test_batch_invariance(benchmark, report_sink):
+    def compute():
+        rows = []
+        for model in MODELS:
+            for batch in BATCHES:
+                vs = build_variants(model, batch=batch)
+                best = variant_names_for(model)[-1]
+                orig = estimate_peak_internal(vs.graphs["original"])
+                opt = estimate_peak_internal(vs.graphs[best])
+                rows.append([model, batch, orig / MIB, opt / MIB,
+                             1.0 - opt / orig,
+                             vs.weight_bytes("decomposed") / MIB])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    report_sink("batch_sweep", format_table(
+        ["model", "batch", "orig internal MiB", "TeMCO internal MiB",
+         "reduction", "weights MiB"], rows,
+        title="E8: batch-size sweep of the internal-memory reduction"))
+
+    by_model: dict[str, list[float]] = {}
+    for model, batch, orig, opt, reduction, _w in rows:
+        by_model.setdefault(model, []).append(reduction)
+        # internal memory scales with batch; reduction must stay put
+        assert reduction > 0.2, (model, batch)
+    for model, reductions in by_model.items():
+        spread = max(reductions) - min(reductions)
+        assert spread < 0.15, f"{model}: reduction varies {spread:.1%} across batches"

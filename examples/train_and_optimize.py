@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The paper's full accuracy workflow: decompose → train → TeMCO (§4.4).
+
+Trains a small CNN on the synthetic classification task, Tucker-
+decomposes it, fine-tunes the decomposed model (the paper's "direct
+training"), then applies TeMCO and shows:
+
+1. the original model genuinely learned the task,
+2. fine-tuning recovers most of the decomposition's accuracy loss,
+3. TeMCO's optimization changes *nothing* about the predictions while
+   cutting the inference memory peak.
+
+Run:  python examples/train_and_optimize.py
+"""
+
+import numpy as np
+
+from repro import DecompositionConfig, GraphBuilder, decompose_graph, optimize
+from repro.data import classification_batch, topk_accuracy
+from repro.runtime import execute
+from repro.train import SGDConfig, train_classifier
+
+
+def build_cnn(batch: int, hw: int = 16, num_classes: int = 4, seed: int = 0):
+    b = GraphBuilder("cnn", seed=seed)
+    x = b.input("image", (batch, 3, hw, hw))
+    h = b.relu(b.conv2d(x, 16, 3, padding=1, name="c1"))
+    h = b.maxpool2d(h, 2)
+    h = b.relu(b.conv2d(h, 32, 3, padding=1, name="c2"))
+    h = b.relu(b.conv2d(h, 32, 3, padding=1, name="c3"))
+    h = b.flatten(b.global_avgpool(h))
+    return b.finish(b.linear(h, num_classes, name="fc"))
+
+
+def evaluate(graph, batch: int = 128, num_classes: int = 4) -> float:
+    from repro.ir.serialize import graph_from_dict, graph_to_dict
+    structure, weights = graph_to_dict(graph)
+    for vd in structure["inputs"]:
+        vd["shape"][0] = batch
+    for nd in structure["nodes"]:
+        nd["output"]["shape"][0] = batch
+    eval_graph = graph_from_dict(structure, weights)
+    data = classification_batch(batch, hw=16, num_classes=num_classes,
+                                seed=777_777)
+    logits = execute(eval_graph, {"image": data.images}).output()
+    return topk_accuracy(logits, data.labels, k=1)
+
+
+def main() -> None:
+    num_classes = 4
+    print("=== 1. train the original model ===")
+    model = build_cnn(batch=32, num_classes=num_classes)
+    result = train_classifier(model, steps=50, num_classes=num_classes,
+                              config=SGDConfig(learning_rate=0.08))
+    print(f"loss {result.losses[0]:.3f} -> {result.final_loss:.3f}; "
+          f"held-out top-1 = {evaluate(model):.2f}")
+
+    print("\n=== 2. Tucker-decompose (ratio 0.5) ===")
+    decomposed = decompose_graph(model, DecompositionConfig(ratio=0.5))
+    print(f"without fine-tuning: top-1 = {evaluate(decomposed):.2f}")
+
+    print("\n=== 3. fine-tune the decomposed model ===")
+    result = train_classifier(decomposed, steps=25, num_classes=num_classes,
+                              seed=500, config=SGDConfig(learning_rate=0.02))
+    acc_dec = evaluate(decomposed)
+    print(f"loss {result.losses[0]:.3f} -> {result.final_loss:.3f}; "
+          f"top-1 = {acc_dec:.2f}")
+
+    print("\n=== 4. TeMCO optimization (inference) ===")
+    optimized, report = optimize(decomposed)
+    print(report.summary())
+    acc_opt = evaluate(optimized)
+    print(f"\ntop-1 after TeMCO = {acc_opt:.2f} "
+          f"({'UNCHANGED' if acc_opt == acc_dec else 'CHANGED!'}) — "
+          f"the paper's Figure 12 claim")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+models
+    List the benchmark zoo.
+inspect MODEL|FILE.npz
+    Print a model's IR, parameter counts and static memory estimates.
+optimize MODEL|FILE.npz [-o OUT.npz]
+    Decompose (Tucker/CP/TT) + TeMCO-optimize; print the report and
+    optionally save the optimized graph.
+run MODEL|FILE.npz
+    Execute one inference on synthetic input; print the memory profile
+    and wall-clock time.
+bench {fig4,fig10,fig11,fig12}
+    Regenerate one paper figure as a text table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .bench import (PAPER_LABELS, figure4, figure10, figure11, figure12,
+                    format_table, internal_reduction_geomean, overhead_ratios)
+from .core import TeMCOConfig, estimate_peak_internal, optimize
+from .decompose import DecompositionConfig, decompose_graph
+from .ir import (Graph, format_graph, load_graph, save_dot, save_graph,
+                 summarize_graph)
+from .models import EXTRA_MODELS, MODEL_ZOO, build_extra, build_model
+from .runtime import (InferenceSession, plan_arena, profile_markdown,
+                      timeline_csv)
+
+__all__ = ["main", "build_parser"]
+
+MIB = 1024 * 1024
+
+
+def _load_model(spec: str, batch: int, hw: int | None, seed: int) -> Graph:
+    if spec.endswith(".npz"):
+        return load_graph(spec)
+    if spec in EXTRA_MODELS:
+        return build_extra(spec, batch=batch, hw=hw, seed=seed)
+    return build_model(spec, batch=batch, hw=hw, seed=seed)
+
+
+def _cmd_models(args) -> int:
+    rows = [[name, s.family, s.task, s.default_hw,
+             "yes" if s.has_skip_connections else "no"]
+            for name, s in MODEL_ZOO.items()]
+    print(format_table(["model", "family", "task", "default hw", "skips"],
+                       rows, title="benchmark model zoo (paper §4.1)"))
+    extras = [[name, s.family, s.task, s.default_hw,
+               "yes" if s.has_skip_connections else "no"]
+              for name, s in EXTRA_MODELS.items()]
+    print()
+    print(format_table(["model", "family", "task", "default hw", "skips"],
+                       extras, title="extra variants (not in the paper's set)"))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    graph = _load_model(args.model, args.batch, args.hw, args.seed)
+    if args.what == "dot":
+        save_dot(graph, args.output)
+    elif args.what == "timeline":
+        rng = np.random.default_rng(args.seed)
+        inputs = {v.name: rng.normal(size=v.shape).astype(v.dtype.np)
+                  for v in graph.inputs}
+        profile = InferenceSession(graph).run(inputs).memory
+        Path(args.output).write_text(timeline_csv(profile))
+    else:  # report
+        rng = np.random.default_rng(args.seed)
+        inputs = {v.name: rng.normal(size=v.shape).astype(v.dtype.np)
+                  for v in graph.inputs}
+        profile = InferenceSession(graph).run(inputs).memory
+        Path(args.output).write_text(profile_markdown(profile,
+                                                      title=graph.name))
+    print(f"wrote {args.what} for {graph.name!r} to {args.output}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    graph = _load_model(args.model, args.batch, args.hw, args.seed)
+    print(summarize_graph(graph))
+    print(f"estimated peak internal: {estimate_peak_internal(graph) / MIB:.2f} MiB")
+    plan = plan_arena(graph)
+    print(f"static arena: {plan.arena_bytes / MIB:.2f} MiB "
+          f"(fragmentation {plan.fragmentation:.1%})")
+    if args.ir:
+        print()
+        print(format_graph(graph))
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    graph = _load_model(args.model, args.batch, args.hw, args.seed)
+    decomposed = decompose_graph(graph, DecompositionConfig(
+        method=args.method, ratio=args.ratio, seed=args.seed,
+        rank_policy=args.rank_policy, energy=args.energy))
+    optimized, report = optimize(decomposed, TeMCOConfig(
+        concat_strategy=args.concat_strategy))
+    print(f"original:  {summarize_graph(graph)}")
+    print(f"decomposed: {summarize_graph(decomposed)}")
+    print(f"optimized:  {summarize_graph(optimized)}")
+    print()
+    print(report.summary())
+    orig_peak = estimate_peak_internal(graph)
+    print(f"internal peak vs original: {orig_peak / MIB:.2f} MiB -> "
+          f"{report.peak_after / MIB:.2f} MiB "
+          f"({1 - report.peak_after / orig_peak:.1%} reduction)")
+    if args.output:
+        save_graph(optimized, args.output)
+        print(f"saved optimized graph to {args.output}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    graph = _load_model(args.model, args.batch, args.hw, args.seed)
+    rng = np.random.default_rng(args.seed)
+    inputs = {v.name: rng.normal(size=v.shape).astype(v.dtype.np)
+              for v in graph.inputs}
+    session = InferenceSession(graph)
+    timing = session.time_inference(inputs, warmup=1, repeats=args.repeats)
+    result = session.run(inputs)
+    print(f"output shapes: "
+          f"{ {k: v.shape for k, v in result.outputs.items()} }")
+    print(result.memory.summary())
+    print(f"median wall-clock: {timing.median * 1e3:.1f} ms "
+          f"over {args.repeats} runs")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.figure == "fig4":
+        result = figure4(args.model or "unet", batch=args.batch)
+        rows = [[variant, i, mib] for variant, series in result.timelines.items()
+                for i, mib in series]
+        print(format_table(["variant", "layer", "live MiB"], rows,
+                           title=f"Figure 4 ({result.model}), peaks: {result.peaks}"))
+    elif args.figure == "fig10":
+        models = [args.model] if args.model else None
+        rows = figure10(models=models, batch=args.batch)
+        print(format_table(
+            ["model", "variant", "weights MiB", "internal MiB"],
+            [[r.model, PAPER_LABELS[r.variant], r.weight_mib, r.internal_mib]
+             for r in rows], title="Figure 10"))
+        print(f"geomean internal reduction: "
+              f"{internal_reduction_geomean(rows):.1%} (paper: 75.7%)")
+    elif args.figure == "fig11":
+        models = [args.model] if args.model else None
+        rows = figure11(models=models, batches=(args.batch,), hw=32, repeats=2)
+        print(format_table(["model", "variant", "batch", "time ms"],
+                           [[r.model, r.variant, r.batch, r.seconds * 1e3]
+                            for r in rows], title="Figure 11"))
+        print(f"overhead ratios: {overhead_ratios(rows)}")
+    else:
+        models = [args.model] if args.model else None
+        rows = figure12(models=models, batch=args.batch, hw=32)
+        print(format_table(
+            ["model", "variant", "metric", "agreement"],
+            [[r.model, PAPER_LABELS[r.variant], r.metric,
+              r.agreement_with_decomposed] for r in rows], title="Figure 12"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TeMCO reproduction toolkit (ICPP 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the benchmark zoo").set_defaults(
+        fn=_cmd_models)
+
+    def common(p):
+        p.add_argument("model", help="zoo model name or saved .npz graph")
+        p.add_argument("--batch", type=int, default=4)
+        p.add_argument("--hw", type=int, default=None)
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("inspect", help="print IR and memory estimates")
+    common(p)
+    p.add_argument("--ir", action="store_true", help="dump the full IR")
+    p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser("optimize", help="decompose + TeMCO-optimize")
+    common(p)
+    p.add_argument("--method", choices=("tucker", "cp", "tt"), default="tucker")
+    p.add_argument("--ratio", type=float, default=0.1)
+    p.add_argument("--rank-policy", choices=("ratio", "energy"),
+                   default="ratio", dest="rank_policy")
+    p.add_argument("--energy", type=float, default=0.9,
+                   help="spectral-energy threshold for --rank-policy energy")
+    p.add_argument("--concat-strategy", choices=("merge", "split", "none"),
+                   default="merge")
+    p.add_argument("-o", "--output", type=Path, default=None)
+    p.set_defaults(fn=_cmd_optimize)
+
+    p = sub.add_parser("run", help="run one inference with profiling")
+    common(p)
+    p.add_argument("--repeats", type=int, default=3)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("export", help="export DOT graph / CSV timeline / "
+                                      "Markdown memory report")
+    common(p)
+    p.add_argument("what", choices=("dot", "timeline", "report"))
+    p.add_argument("-o", "--output", type=Path, required=True)
+    p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser("selfcheck", help="quick install sanity scorecard")
+    p.set_defaults(fn=lambda args: 0 if all(
+        r.passed for r in __import__("repro.selfcheck",
+                                     fromlist=["run_selfcheck"]).run_selfcheck())
+        else 1)
+
+    p = sub.add_parser("bench", help="regenerate a paper figure")
+    p.add_argument("figure", choices=("fig4", "fig10", "fig11", "fig12"))
+    p.add_argument("--model", default=None)
+    p.add_argument("--batch", type=int, default=4)
+    p.set_defaults(fn=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

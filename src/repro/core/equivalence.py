@@ -1,0 +1,93 @@
+"""Semantic-equivalence checking between graph variants.
+
+TeMCO's correctness claim (§4.4) is that its transformations preserve
+the *exact* semantics of the decomposed model — fused kernels only
+reassociate floating-point sums.  This module verifies that claim
+empirically: run two graphs on the same inputs and bound the output
+divergence, with tolerances scaled to the output magnitude (deep stacks
+of convolutions amplify ulp-level noise multiplicatively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..runtime.executor import execute
+
+__all__ = ["EquivalenceReport", "compare_graphs", "assert_equivalent",
+           "topk_agreement"]
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Divergence statistics between two graphs' outputs."""
+
+    max_abs_error: float
+    max_rel_error: float
+    output_scale: float
+    outputs_compared: int
+
+    def within(self, rtol: float, atol: float) -> bool:
+        return self.max_abs_error <= atol + rtol * self.output_scale
+
+
+def compare_graphs(a: Graph, b: Graph, inputs: dict[str, np.ndarray]) -> EquivalenceReport:
+    """Run both graphs on ``inputs`` and measure output divergence.
+
+    Outputs are matched positionally (TeMCO rewrites rename values, so
+    name matching would be wrong); both graphs must produce the same
+    number of outputs with identical shapes.
+    """
+    res_a = execute(a, inputs)
+    res_b = execute(b, inputs)
+    outs_a = [res_a.outputs[v.name] for v in a.outputs]
+    outs_b = [res_b.outputs[v.name] for v in b.outputs]
+    if len(outs_a) != len(outs_b):
+        raise ValueError(f"output arity mismatch: {len(outs_a)} vs {len(outs_b)}")
+    max_abs = 0.0
+    max_rel = 0.0
+    scale = 0.0
+    for x, y in zip(outs_a, outs_b):
+        if x.shape != y.shape:
+            raise ValueError(f"output shape mismatch: {x.shape} vs {y.shape}")
+        diff = np.abs(x.astype(np.float64) - y.astype(np.float64))
+        max_abs = max(max_abs, float(diff.max(initial=0.0)))
+        denom = np.abs(x.astype(np.float64))
+        scale = max(scale, float(denom.max(initial=0.0)))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel = np.where(denom > 1e-12, diff / denom, 0.0)
+        max_rel = max(max_rel, float(rel.max(initial=0.0)))
+    return EquivalenceReport(max_abs_error=max_abs, max_rel_error=max_rel,
+                             output_scale=scale, outputs_compared=len(outs_a))
+
+
+def assert_equivalent(a: Graph, b: Graph, inputs: dict[str, np.ndarray],
+                      *, rtol: float = 1e-4, atol: float = 1e-5) -> EquivalenceReport:
+    """Raise ``AssertionError`` if the graphs diverge beyond tolerance."""
+    report = compare_graphs(a, b, inputs)
+    if not report.within(rtol, atol):
+        raise AssertionError(
+            f"graphs {a.name!r} and {b.name!r} diverge: max abs error "
+            f"{report.max_abs_error:.3e} over output scale {report.output_scale:.3e} "
+            f"(rtol={rtol}, atol={atol})")
+    return report
+
+
+def topk_agreement(a: Graph, b: Graph, inputs: dict[str, np.ndarray],
+                   k: int = 5) -> float:
+    """Fraction of samples whose top-1 class of ``a`` is within the
+    top-``k`` predictions of ``b`` (the paper's top-5 protocol applied
+    between model variants)."""
+    res_a = execute(a, inputs)
+    res_b = execute(b, inputs)
+    la = res_a.outputs[a.outputs[0].name]
+    lb = res_b.outputs[b.outputs[0].name]
+    if la.ndim != 2 or lb.shape != la.shape:
+        raise ValueError(f"expected matching 2D logits, got {la.shape} vs {lb.shape}")
+    top1_a = la.argmax(axis=1)
+    topk_b = np.argsort(lb, axis=1)[:, -k:]
+    hits = sum(1 for i in range(la.shape[0]) if top1_a[i] in topk_b[i])
+    return hits / la.shape[0]

@@ -1,0 +1,66 @@
+"""BatchNorm folding (inference-time canonicalization).
+
+The paper evaluates inference graphs; frameworks fold each
+``conv → batchnorm`` pair into a single convolution with rescaled
+weights before any memory optimization.  We do the same so batchnorm
+never sits between an lconv and an activation (which would block
+fusion) — and so the model zoo can be built with batchnorm for
+realism without affecting the optimizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.graph import Graph
+
+__all__ = ["fold_batchnorm"]
+
+
+def fold_batchnorm(graph: Graph) -> int:
+    """Fold every ``conv2d → batchnorm2d`` pair in place.
+
+    The batchnorm must be the conv's only consumer.  Returns the number
+    of folds.  Batchnorms not preceded by a conv are left in the graph
+    (the executor runs them directly).
+    """
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        consumers = graph.consumer_map()
+        for node in list(graph.nodes):
+            if node.op != "batchnorm2d":
+                continue
+            producer = graph.producer_of(node.inputs[0])
+            if producer is None or producer.op != "conv2d":
+                continue
+            if len(consumers.get(producer.output, ())) != 1:
+                continue
+            _fold_pair(graph, producer, node)
+            folded += 1
+            changed = True
+            break
+    graph.validate()
+    return folded
+
+
+def _fold_pair(graph: Graph, conv, bn) -> None:
+    gamma = bn.params["gamma"].astype(np.float64)
+    beta = bn.params["beta"].astype(np.float64)
+    mean = bn.params["mean"].astype(np.float64)
+    var = bn.params["var"].astype(np.float64)
+    eps = float(bn.attrs.get("eps", 1e-5))
+    scale = gamma / np.sqrt(var + eps)
+
+    weight = conv.params["weight"]
+    bias = conv.params.get("bias")
+    new_weight = (weight.astype(np.float64)
+                  * scale[:, None, None, None]).astype(weight.dtype)
+    base = bias.astype(np.float64) if bias is not None else 0.0
+    new_bias = (beta + (base - mean) * scale).astype(weight.dtype)
+
+    conv.params["weight"] = new_weight
+    conv.params["bias"] = new_bias
+    graph.replace_uses(bn.output, conv.output)
+    graph.remove_node(bn)

@@ -1,0 +1,218 @@
+"""Activation layer fusion (paper §3.2, Listing 1).
+
+Finds ``lconv → activation [→ pool | upsample] → fconv`` chains whose
+intermediate values have no other consumers, and collapses each into a
+single :data:`fused_block` node that streams the restored channels
+through tiles (see :mod:`repro.kernels.fused`).  The full-size restored
+tensors (``Output1``/``Input2`` in Figure 3b) disappear from the graph:
+the fused node consumes one reduced tensor and produces the next.
+
+Also fuses the degenerate ``lconv → activation → fconv`` chains created
+by the layer transformations (merged block-diagonal lconvs, copied
+restore chains) — the paper's "restorations of skip connections can
+also be hidden in the fused layers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ir import ops as _ops
+from ..ir.emit import make_node
+from ..ir.graph import Graph
+from ..ir.node import Node
+
+__all__ = ["FusionConfig", "FusionStats", "fuse_activation_layers"]
+
+
+@dataclass(frozen=True)
+class FusionConfig:
+    """Fusion knobs.
+
+    block_size:
+        Channel-block width of the generated fused kernels (the tile
+        size ``T`` of Listing 1); sweepable in the tile ablation.
+    allow_pool:
+        Absorb a pooling layer between activation and fconv
+        (``lconv-relu-pool-fconv`` in Listing 1).
+    allow_upsample:
+        Absorb a nearest-neighbour upsample (UNet decoder after the
+        upsample-commute transformation).
+    require_activation:
+        If False, also fuse bare ``lconv → fconv`` pairs (no activation
+        in between); semantically those could be folded into one matmul,
+        but fusing keeps weight memory unchanged.
+    allow_epilogue:
+        Also fuse ``lconv → act [→ pool]`` chains that do *not* end in
+        an fconv (the restored tensor feeds a multi-consumer join and
+        must be materialized) into a streaming ``fused_restore`` kernel
+        that skips the intermediate full tensors.  Extension beyond the
+        paper's lconv-act-fconv definition — see DESIGN.md.
+    """
+
+    block_size: int = 32
+    #: optional spatial tile edge for the generated fused kernels
+    #: (Listing 1's 3D blocking); 0 = channel blocking only
+    spatial_tile: int = 0
+    allow_pool: bool = True
+    allow_upsample: bool = True
+    require_activation: bool = False
+    allow_epilogue: bool = True
+
+
+@dataclass
+class FusionStats:
+    fused: int = 0
+    with_pool: int = 0
+    with_upsample: int = 0
+    epilogues: int = 0
+    details: list[str] = field(default_factory=list)
+
+
+def fuse_activation_layers(graph: Graph,
+                           config: FusionConfig | None = None) -> FusionStats:
+    """Apply activation layer fusion greedily over the schedule."""
+    config = config or FusionConfig()
+    stats = FusionStats()
+    changed = True
+    while changed:
+        changed = False
+        consumers = graph.consumer_map()
+        for node in list(graph.nodes):
+            if not _ops.is_lconv(node):
+                continue
+            chain = _match_chain(graph, node, consumers, config)
+            if chain is None:
+                continue
+            _fuse(graph, chain, config, stats)
+            changed = True
+            break  # consumer map is stale; rescan
+    graph.validate()
+    return stats
+
+
+@dataclass(frozen=True)
+class _Chain:
+    lconv: Node
+    act: Node | None
+    resample: Node | None  # pool or upsample, optional
+    fconv: Node | None     # None -> restore epilogue (fused_restore)
+
+
+def _single_consumer(consumers: dict, node: Node) -> Node | None:
+    users = consumers.get(node.output, [])
+    return users[0] if len(users) == 1 else None
+
+
+def _match_chain(graph: Graph, lconv: Node, consumers: dict,
+                 config: FusionConfig) -> _Chain | None:
+    out_ids = {id(v) for v in graph.outputs}
+
+    def epilogue(act: Node | None, resample: Node | None) -> _Chain | None:
+        """Fall back to a restore epilogue covering the chain so far."""
+        if not config.allow_epilogue or (act is None and resample is None):
+            return None
+        # every *intermediate* value must be single-consumer & not an output
+        intermediates = [lconv] + ([act] if act is not None and resample is not None else [])
+        for mid in intermediates:
+            if id(mid.output) in out_ids:
+                return None
+        return _Chain(lconv=lconv, act=act, resample=resample, fconv=None)
+
+    cursor = _single_consumer(consumers, lconv)
+    if cursor is None or id(lconv.output) in out_ids:
+        return None
+    act: Node | None = None
+    if cursor.op in _ops.ACTIVATION_OPS:
+        act = cursor
+        cursor = _single_consumer(consumers, act)
+        if cursor is None:
+            return epilogue(act, None)
+    elif config.require_activation:
+        return None
+    resample: Node | None = None
+    if cursor.op in _ops.POOL_OPS and config.allow_pool:
+        resample = cursor
+        cursor = _single_consumer(consumers, resample)
+        if cursor is None:
+            return epilogue(act, resample)
+    elif cursor.op == "upsample_nearest" and config.allow_upsample:
+        resample = cursor
+        cursor = _single_consumer(consumers, resample)
+        if cursor is None:
+            return epilogue(act, resample)
+    # any 1×1 stride-1 conv can terminate the chain: the paper's fconv is
+    # the common case, but split/merged transforms produce pointwise convs
+    # that expand channels, and the memory claim (no full intermediate)
+    # holds either way
+    if not _ops.is_pointwise_conv(cursor):
+        return epilogue(act, resample)
+    # intermediate values must not be graph outputs (they would vanish)
+    for mid in (lconv, act, resample):
+        if mid is not None and id(mid.output) in out_ids:
+            return None
+    return _Chain(lconv=lconv, act=act, resample=resample, fconv=cursor)
+
+
+def _fuse(graph: Graph, chain: _Chain, config: FusionConfig,
+          stats: FusionStats) -> None:
+    lconv, fconv = chain.lconv, chain.fconv
+    w1 = lconv.params["weight"]
+    params: dict[str, np.ndarray] = {
+        "w1": np.ascontiguousarray(w1[:, :, 0, 0]),
+    }
+    if "bias" in lconv.params:
+        params["b1"] = lconv.params["bias"]
+    if fconv is not None:
+        params["w2"] = np.ascontiguousarray(fconv.params["weight"][:, :, 0, 0])
+        if "bias" in fconv.params:
+            params["b2"] = fconv.params["bias"]
+    act_params = {}
+    if chain.act is not None:
+        act_params = {k: v for k, v in chain.act.attrs.items()
+                      if k in ("negative_slope", "alpha")}
+    attrs: dict = {
+        "act": chain.act.op if chain.act is not None else None,
+        "act_params": act_params or None,
+        "block_size": config.block_size,
+        "spatial_tile": config.spatial_tile,
+        "fused_from": [lconv.name, *( [chain.act.name] if chain.act else []),
+                       *( [chain.resample.name] if chain.resample else []),
+                       *( [fconv.name] if fconv is not None else [])],
+    }
+    if chain.resample is not None:
+        if chain.resample.op in _ops.POOL_OPS:
+            attrs["pool"] = {
+                "kind": "max" if chain.resample.op == "maxpool2d" else "avg",
+                "kernel": list(chain.resample.attrs["kernel"]),
+                "stride": list(chain.resample.attrs.get(
+                    "stride", chain.resample.attrs["kernel"])),
+                "padding": list(chain.resample.attrs.get("padding", [0, 0])),
+            }
+            stats.with_pool += 1
+        else:
+            attrs["upsample"] = int(chain.resample.attrs.get("scale", 2))
+            stats.with_upsample += 1
+
+    if fconv is not None:
+        final = fconv
+        fused = make_node(graph, "fused_block", [lconv.inputs[0]], attrs=attrs,
+                          params=params, name=f"fused[{lconv.name}+{fconv.name}]")
+    else:
+        final = chain.resample if chain.resample is not None else chain.act
+        assert final is not None
+        fused = make_node(graph, "fused_restore", [lconv.inputs[0]], attrs=attrs,
+                          params=params, name=f"fused_restore[{lconv.name}]")
+        stats.epilogues += 1
+    if fused.output.shape != final.output.shape:  # pragma: no cover - defensive
+        raise AssertionError(
+            f"fusion shape mismatch: {fused.output.shape} vs {final.output.shape}")
+    graph.insert_before(lconv, [fused])
+    graph.replace_uses(final.output, fused.output)
+    for dead in (chain.fconv, chain.resample, chain.act, chain.lconv):
+        if dead is not None:
+            graph.remove_node(dead)
+    stats.fused += 1
+    stats.details.append(fused.name)

@@ -1,0 +1,151 @@
+"""Tensor liveness analysis (Algorithm 1, lines 11–18).
+
+For every SSA value the analyzer records its definition point (*begin*)
+and last use (*end*) in the execution schedule.  The lifespan
+``end - begin`` ("DISTANCE" in the paper) identifies *skip
+connections*: internal tensors that stay resident far past their
+definition because a distant layer still needs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir.value import Value
+
+__all__ = ["LiveInterval", "analyze_liveness", "live_bytes_at",
+           "estimate_peak_internal", "SkipConnection", "find_skip_connections"]
+
+
+@dataclass(frozen=True)
+class LiveInterval:
+    """Liveness of one value over schedule indices.
+
+    ``begin`` is the index of the defining node (−1 for graph inputs);
+    ``end`` is the index of the last consuming node, or the final index
+    for graph outputs (frameworks keep results alive for the caller).
+    A value is live *during* every node index in ``[begin, end]``.
+    """
+
+    value: Value
+    begin: int
+    end: int
+
+    @property
+    def distance(self) -> int:
+        """Paper's ``DISTANCE(live[n].begin, live[n].end)``."""
+        return self.end - self.begin
+
+    def live_at(self, index: int) -> bool:
+        return self.begin <= index <= self.end
+
+
+def analyze_liveness(graph: Graph) -> dict[Value, LiveInterval]:
+    """Compute begin/end indices for every value in the schedule."""
+    begin: dict[Value, int] = {v: -1 for v in graph.inputs}
+    end: dict[Value, int] = {v: -1 for v in graph.inputs}
+    for index, node in enumerate(graph.nodes):
+        begin[node.output] = index
+        end.setdefault(node.output, index)
+        for v in node.inputs:
+            end[v] = index
+    last = len(graph.nodes) - 1
+    for v in graph.outputs:
+        end[v] = last
+    return {v: LiveInterval(v, begin[v], max(end[v], begin[v])) for v in begin}
+
+
+def live_bytes_at(intervals: dict[Value, LiveInterval], index: int) -> int:
+    """Total internal-tensor bytes live while node ``index`` executes."""
+    return sum(iv.value.nbytes for iv in intervals.values() if iv.live_at(index))
+
+
+#: element-wise ops a framework may execute in place on their input
+INPLACE_CAPABLE_OPS = frozenset(("relu", "silu", "sigmoid", "tanh",
+                                 "leaky_relu", "elu", "hardswish", "gelu",
+                                 "identity", "dropout"))
+
+
+def estimate_peak_internal(graph: Graph, *,
+                           inplace_activations: bool = False) -> int:
+    """Static peak internal-tensor bytes of the schedule.
+
+    This is the generalized Eq. 3/4 of the paper evaluated over the
+    whole graph, and is exactly what the refcounting executor measures
+    (a property test pins the two together).
+
+    ``inplace_activations`` models the PyTorch ``inplace=True``
+    convention: an element-wise op whose input dies at that op reuses
+    the input buffer, so input and output never coexist.  The paper's
+    Eq. 3 counts the activation pair (``2·C'H'W'``), i.e. the default
+    ``False`` policy; the flag exists for the accounting ablation.
+    """
+    intervals = analyze_liveness(graph)
+    if not graph.nodes:
+        return sum(v.nbytes for v in graph.inputs)
+    inplace_saving: dict[int, int] = {}
+    if inplace_activations:
+        output_ids = {id(v) for v in graph.outputs}
+        for i, node in enumerate(graph.nodes):
+            if node.op not in INPLACE_CAPABLE_OPS:
+                continue
+            v = node.inputs[0]
+            # in-place applies when this node is the input's *last*
+            # consumer and holds only one reference to it
+            uses_here = sum(1 for u in node.inputs if u is v)
+            if (intervals[v].end == i and uses_here == 1
+                    and id(v) not in output_ids):
+                inplace_saving[i] = v.nbytes
+    return max(live_bytes_at(intervals, i) - inplace_saving.get(i, 0)
+               for i in range(len(graph.nodes)))
+
+
+@dataclass(frozen=True)
+class SkipConnection:
+    """A long-lived internal tensor and where it is consumed."""
+
+    value: Value
+    interval: LiveInterval
+    producer: Node
+    #: consumers whose schedule index is further than the threshold from
+    #: the definition — the "distant uses" whose input gets replaced
+    far_uses: tuple[Node, ...]
+    #: consumers within the threshold — left untouched
+    near_uses: tuple[Node, ...]
+
+
+def find_skip_connections(graph: Graph, distance_threshold: int) -> list[SkipConnection]:
+    """Identify skip connections (Algorithm 1, lines 17–19).
+
+    A value qualifies when its lifespan exceeds ``distance_threshold``
+    schedule slots.  Graph inputs and outputs are excluded: inputs have
+    no restore chain to copy, and outputs must stay materialized.
+    """
+    if distance_threshold < 1:
+        raise ValueError(f"distance_threshold must be >= 1, got {distance_threshold}")
+    intervals = analyze_liveness(graph)
+    consumer_map = graph.consumer_map()
+    output_ids = {id(v) for v in graph.outputs}
+    input_ids = {id(v) for v in graph.inputs}
+    index_of = {node: i for i, node in enumerate(graph.nodes)}
+
+    skips: list[SkipConnection] = []
+    for node in graph.nodes:
+        v = node.output
+        if id(v) in output_ids or id(v) in input_ids:
+            continue
+        interval = intervals[v]
+        if interval.distance <= distance_threshold:
+            continue
+        far, near = [], []
+        for consumer in consumer_map.get(v, ()):  # schedule order
+            if index_of[consumer] - interval.begin > distance_threshold:
+                far.append(consumer)
+            else:
+                near.append(consumer)
+        if far:
+            skips.append(SkipConnection(value=v, interval=interval, producer=node,
+                                        far_uses=tuple(far), near_uses=tuple(near)))
+    return skips

@@ -1,0 +1,122 @@
+"""Analytic memory model (paper §2.2, Equations 1–4).
+
+These closed forms cover the two-convolution scenario of Figure 3 and
+are reproduced by the ``benchmarks/test_eq_memory_model.py`` harness.
+The general-graph version of the same max-of-live-sums quantity is
+:func:`repro.core.liveness.estimate_peak_internal`.
+
+All functions count *elements*; multiply by ``dtype.itemsize`` for
+bytes (the paper's equations are element counts too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ConvPairSpec",
+    "eq1_weight_elems_original",
+    "eq2_weight_elems_decomposed",
+    "eq3_peak_internal_original",
+    "eq4_peak_internal_decomposed",
+    "fused_peak_internal",
+]
+
+
+@dataclass(frozen=True)
+class ConvPairSpec:
+    """Figure 3's scenario: conv1 → activation → conv2.
+
+    Shapes follow the paper's notation: the input tensor is
+    ``C×H×W``; conv1 (kernel ``K``) produces ``C'×H'×W'``; conv2
+    (kernel ``K'``) produces ``C''×H''×W''``.  Decomposition ranks
+    ``c1..c4`` are the reduced channel sizes of Figure 3b.
+    """
+
+    c: int
+    h: int
+    w: int
+    k: int
+    c_prime: int
+    h_prime: int
+    w_prime: int
+    k_prime: int
+    c_dprime: int
+    h_dprime: int
+    w_dprime: int
+    c1: int
+    c2: int
+    c3: int
+    c4: int
+    batch: int = 1
+
+    def ranks_are_reduced(self) -> bool:
+        """The paper's standing assumption: C1..C4 smaller than C..C''."""
+        return (self.c1 < self.c and self.c2 < self.c_prime
+                and self.c3 < self.c_prime and self.c4 < self.c_dprime)
+
+
+def eq1_weight_elems_original(s: ConvPairSpec) -> int:
+    """Eq. (1): ``C·C'·K² + C'·C''·K'²``."""
+    return s.c * s.c_prime * s.k ** 2 + s.c_prime * s.c_dprime * s.k_prime ** 2
+
+
+def eq2_weight_elems_decomposed(s: ConvPairSpec) -> int:
+    """Eq. (2): ``C·C1 + C1·C2·K² + C2·C' + C'·C3 + C3·C4·K'² + C4·C''``."""
+    return (s.c * s.c1 + s.c1 * s.c2 * s.k ** 2 + s.c2 * s.c_prime
+            + s.c_prime * s.c3 + s.c3 * s.c4 * s.k_prime ** 2 + s.c4 * s.c_dprime)
+
+
+def eq3_peak_internal_original(s: ConvPairSpec) -> int:
+    """Eq. (3): max of each layer's input+output footprint."""
+    b = s.batch
+    in0 = b * s.c * s.h * s.w
+    mid = b * s.c_prime * s.h_prime * s.w_prime
+    out = b * s.c_dprime * s.h_dprime * s.w_dprime
+    return max(in0 + mid,   # conv1
+               2 * mid,     # activation
+               mid + out)   # conv2
+
+
+def eq4_peak_internal_decomposed(s: ConvPairSpec) -> int:
+    """Eq. (4): the seven-layer max of the decomposed sequence.
+
+    With reduced ranks this collapses to ``2·C'·H'·W'`` — the
+    activation layer's input+output — which is the paper's core
+    observation: decomposition alone does not shrink the peak.
+    """
+    b = s.batch
+    in0 = b * s.c * s.h * s.w
+    r1 = b * s.c1 * s.h * s.w
+    r2 = b * s.c2 * s.h_prime * s.w_prime
+    mid = b * s.c_prime * s.h_prime * s.w_prime
+    r3 = b * s.c3 * s.h_prime * s.w_prime
+    r4 = b * s.c4 * s.h_dprime * s.w_dprime
+    out = b * s.c_dprime * s.h_dprime * s.w_dprime
+    return max(in0 + r1,    # fconv1
+               r1 + r2,     # core1
+               r2 + mid,    # lconv1
+               2 * mid,     # activation
+               mid + r3,    # fconv2
+               r3 + r4,     # core2
+               r4 + out)    # lconv2
+
+
+def fused_peak_internal(s: ConvPairSpec) -> int:
+    """Peak of the TeMCO-fused sequence (Figure 5): only reduced tensors.
+
+    The fused ``lconv1→act→fconv2`` kernel consumes Reduced2 (C2) and
+    produces Reduced3 (C3); the full C' tensors never materialize.
+    """
+    b = s.batch
+    in0 = b * s.c * s.h * s.w
+    r1 = b * s.c1 * s.h * s.w
+    r2 = b * s.c2 * s.h_prime * s.w_prime
+    r3 = b * s.c3 * s.h_prime * s.w_prime
+    r4 = b * s.c4 * s.h_dprime * s.w_dprime
+    out = b * s.c_dprime * s.h_dprime * s.w_dprime
+    return max(in0 + r1,    # fconv1
+               r1 + r2,     # core1
+               r2 + r3,     # fused lconv1-act-fconv2
+               r3 + r4,     # core2
+               r4 + out)    # lconv2

@@ -1,0 +1,190 @@
+"""The TeMCO compiler pipeline (paper Figure 6).
+
+Stage order follows the paper: *skip connection optimization* first
+(it creates the copied restore chains), then *layer transformations*
+(merging or splitting the concat/add joins so the chains expose
+``lconv → act → fconv`` patterns), then *activation layer fusion*
+(collapsing every exposed pattern into a tiled fused kernel), and a
+final dead-code sweep.
+
+Use :func:`optimize` for the one-call API, or :class:`TeMCOCompiler`
+to run/inspect individual stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import Graph
+from .fusion import FusionConfig, FusionStats, fuse_activation_layers
+from .liveness import estimate_peak_internal
+from .scheduling import ScheduleStats, reschedule
+from .skip_opt import SkipOptConfig, SkipOptStats, optimize_skip_connections
+from .transform import (TransformStats, commute_upsample_lconv,
+                        merge_lconv_add, merge_lconv_concat,
+                        push_act_through_concat, split_concat_fconv)
+
+__all__ = ["TeMCOConfig", "OptimizationReport", "TeMCOCompiler", "optimize"]
+
+
+@dataclass(frozen=True)
+class TeMCOConfig:
+    """End-to-end optimization configuration.
+
+    ``concat_strategy`` selects Figure 9's path for concat joins:
+    ``"merge"`` builds the block-diagonal merged lconv (one fused kernel
+    per join — the paper's default for DenseNet/UNet), ``"split"``
+    produces per-branch convolutions plus add (more kernels, no weight
+    growth), ``"none"`` leaves concats alone.
+    """
+
+    enable_skip_opt: bool = True
+    enable_transforms: bool = True
+    enable_fusion: bool = True
+    #: memory-aware greedy rescheduling after fusion (extension: the
+    #: paper defers to layer-scheduling work [19, 31, 50]); the pass is
+    #: peak-guarded so enabling it can never hurt
+    enable_scheduling: bool = True
+    concat_strategy: str = "merge"
+    skip_opt: SkipOptConfig = field(default_factory=SkipOptConfig)
+    fusion: FusionConfig = field(default_factory=FusionConfig)
+
+    def __post_init__(self) -> None:
+        if self.concat_strategy not in ("merge", "split", "none"):
+            raise ValueError(f"bad concat_strategy {self.concat_strategy!r}")
+
+
+@dataclass
+class OptimizationReport:
+    """Per-stage statistics plus before/after peak estimates."""
+
+    peak_before: int = 0
+    peak_after: int = 0
+    weight_bytes_before: int = 0
+    weight_bytes_after: int = 0
+    skip_opt: SkipOptStats | None = None
+    transforms: TransformStats | None = None
+    fusion: FusionStats | None = None
+    schedule: ScheduleStats | None = None
+
+    @property
+    def peak_reduction(self) -> float:
+        """Fractional reduction of estimated peak internal memory."""
+        if self.peak_before == 0:
+            return 0.0
+        return 1.0 - self.peak_after / self.peak_before
+
+    def summary(self) -> str:
+        mib = 1024 * 1024
+        lines = [
+            f"peak internal: {self.peak_before / mib:.2f} MiB -> "
+            f"{self.peak_after / mib:.2f} MiB ({self.peak_reduction:.1%} reduction)",
+            f"weights: {self.weight_bytes_before / mib:.2f} MiB -> "
+            f"{self.weight_bytes_after / mib:.2f} MiB",
+        ]
+        if self.skip_opt:
+            s = self.skip_opt
+            lines.append(f"skip-opt: {s.optimized}/{s.candidates} connections "
+                         f"optimized, {s.copies_inserted} restore copies")
+        if self.transforms:
+            t = self.transforms
+            lines.append(f"transforms: {t.merged_concats} concat merges, "
+                         f"{t.merged_adds} add merges, {t.split_concats} splits, "
+                         f"{t.commuted_upsamples} upsample commutes")
+        if self.fusion:
+            f_ = self.fusion
+            lines.append(f"fusion: {f_.fused} fused kernels "
+                         f"({f_.with_pool} with pool, {f_.with_upsample} with upsample)")
+        if self.schedule and self.schedule.changed:
+            lines.append(f"scheduling: peak {self.schedule.peak_before:,} B -> "
+                         f"{self.schedule.peak_after:,} B")
+        return "\n".join(lines)
+
+
+class TeMCOCompiler:
+    """Stage-by-stage driver over a working copy of the input graph."""
+
+    def __init__(self, config: TeMCOConfig | None = None) -> None:
+        self.config = config or TeMCOConfig()
+
+    def run(self, graph: Graph) -> tuple[Graph, OptimizationReport]:
+        """Optimize a (typically decomposed) graph; the input is untouched.
+
+        Skip-connection rewrites only pay off once the transform/fusion
+        stages collapse the copied restore chains, so the per-rewrite
+        guard is local (Algorithm 1's ``Overhead``); as a global
+        safety net, if the fully optimized graph's estimated peak ends
+        up worse than running the pipeline *without* skip-opt, the
+        compiler falls back to the latter.
+        """
+        optimized, report = self._run_once(graph, self.config)
+        if (self.config.enable_skip_opt
+                and report.skip_opt is not None
+                and report.skip_opt.optimized > 0):
+            no_skip = TeMCOConfig(
+                enable_skip_opt=False,
+                enable_transforms=self.config.enable_transforms,
+                enable_fusion=self.config.enable_fusion,
+                enable_scheduling=self.config.enable_scheduling,
+                concat_strategy=self.config.concat_strategy,
+                skip_opt=self.config.skip_opt,
+                fusion=self.config.fusion)
+            alt, alt_report = self._run_once(graph, no_skip)
+            if alt_report.peak_after < report.peak_after:
+                optimized, report = alt, alt_report
+        if (report.peak_after > report.peak_before
+                and (self.config.enable_skip_opt or self.config.enable_transforms)
+                and self.config.enable_fusion):
+            # last-resort guard: fusion alone only ever removes tensors
+            fusion_only = TeMCOConfig(
+                enable_skip_opt=False, enable_transforms=False,
+                enable_fusion=True,
+                enable_scheduling=self.config.enable_scheduling,
+                concat_strategy="none", fusion=self.config.fusion)
+            alt, alt_report = self._run_once(graph, fusion_only)
+            if alt_report.peak_after < report.peak_after:
+                return alt, alt_report
+        return optimized, report
+
+    def _run_once(self, graph: Graph,
+                  config: TeMCOConfig) -> tuple[Graph, OptimizationReport]:
+        work = graph.clone(f"{graph.name}.temco")
+        report = OptimizationReport(
+            peak_before=estimate_peak_internal(work),
+            weight_bytes_before=work.weight_bytes())
+
+        if config.enable_skip_opt:
+            report.skip_opt = optimize_skip_connections(work, config.skip_opt)
+
+        if config.enable_transforms:
+            tstats = TransformStats()
+            commute_upsample_lconv(work, tstats)
+            if config.concat_strategy == "merge":
+                # merge the all-restore-chain concats (Fig. 9a), then fall
+                # back to splitting the remaining mixed concats (Fig. 9c)
+                merge_lconv_concat(work, tstats)
+                merge_lconv_add(work, tstats)
+                push_act_through_concat(work, tstats)
+                split_concat_fconv(work, tstats)
+            elif config.concat_strategy == "split":
+                merge_lconv_add(work, tstats)
+                push_act_through_concat(work, tstats)
+                split_concat_fconv(work, tstats)
+            report.transforms = tstats
+
+        if config.enable_fusion:
+            report.fusion = fuse_activation_layers(work, config.fusion)
+
+        if config.enable_scheduling:
+            report.schedule = reschedule(work)
+
+        work.dead_code_eliminate()
+        work.validate()
+        report.peak_after = estimate_peak_internal(work)
+        report.weight_bytes_after = work.weight_bytes()
+        return work, report
+
+
+def optimize(graph: Graph, config: TeMCOConfig | None = None) -> tuple[Graph, OptimizationReport]:
+    """One-call TeMCO: returns ``(optimized graph, report)``."""
+    return TeMCOCompiler(config).run(graph)

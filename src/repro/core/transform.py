@@ -1,0 +1,448 @@
+"""Layer transformations around concat/add joins (paper §3.3, Figure 9).
+
+Three rewrites extend the reach of activation layer fusion to the
+skip-connection *join* points:
+
+- :func:`merge_lconv_concat` (Fig. 9b → 9a): a concat whose branches
+  all end in ``[act ∘] lconv`` becomes ``[act ∘] merged-lconv ∘ concat``
+  over the branches' *reduced* tensors, with the merged lconv's weight
+  laid out block-diagonally (zero padding off the diagonal).  One
+  lconv-act-fconv chain remains, fusable into a single kernel.
+- :func:`merge_lconv_add` (Fig. 9c → 9a): an add whose operands all end
+  in ``lconv`` becomes ``merged-lconv ∘ concat`` with the weights
+  concatenated horizontally (``[W_a | W_b]``) and biases summed.
+- :func:`split_concat_fconv` (Fig. 9b → 9c): a concat directly feeding
+  a 1×1 convolution is split into per-branch 1×1 convolutions (weight
+  column slices) followed by an add — the alternative strategy that
+  avoids the enlarged merged weights at the cost of more kernels.
+
+- :func:`commute_upsample_lconv` normalizes the UNet decoder:
+  ``upsample ∘ act ∘ lconv`` ⇒ ``act ∘ lconv ∘ upsample`` — legal
+  because nearest-neighbour upsampling replicates elements, which
+  commutes with any element-wise op and with 1×1 convolutions; it moves
+  the upsample onto the *reduced* tensor so the join becomes mergeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ir import ops as _ops
+from ..ir.emit import make_node
+from ..ir.graph import Graph
+from ..ir.node import Node
+
+__all__ = ["TransformStats", "merge_lconv_concat", "merge_lconv_add",
+           "split_concat_fconv", "commute_upsample_lconv",
+           "push_act_through_concat"]
+
+
+@dataclass
+class TransformStats:
+    merged_concats: int = 0
+    merged_adds: int = 0
+    split_concats: int = 0
+    commuted_upsamples: int = 0
+    pushed_acts: int = 0
+    details: list[str] = field(default_factory=list)
+
+    def total(self) -> int:
+        return (self.merged_concats + self.merged_adds + self.split_concats
+                + self.commuted_upsamples + self.pushed_acts)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _branch_chain(graph: Graph, consumers: dict, value,
+                  allow_act: bool) -> tuple[Node | None, Node] | None:
+    """Match ``value = [act(]lconv(reduced)[)]`` with single-consumer links.
+
+    Returns ``(act_or_None, lconv)`` or ``None`` if the branch does not
+    end in a restorable chain.
+    """
+    producer = graph.producer_of(value)
+    if producer is None or len(consumers.get(value, ())) != 1:
+        return None
+    act: Node | None = None
+    if producer.op in _ops.ACTIVATION_OPS:
+        if not allow_act:
+            return None
+        act = producer
+        inner = act.inputs[0]
+        producer = graph.producer_of(inner)
+        if producer is None or len(consumers.get(inner, ())) != 1:
+            return None
+    if not _ops.is_lconv(producer):
+        return None
+    return act, producer
+
+
+def _merged_lconv_params(lconvs: list[Node | int], layout: str) -> dict[str, np.ndarray]:
+    """Build the merged restore weight.
+
+    ``layout="block_diag"`` (concat merge): output channels stack and
+    each branch reads only its own reduced channels — zeros elsewhere.
+    An ``int`` entry denotes a passthrough branch of that many channels
+    whose diagonal block is the identity (the branch tensor is carried
+    through the merged lconv unchanged).
+    ``layout="horizontal"`` (add merge): output channels are shared;
+    weights sit side by side and biases sum.
+    """
+    weights = [np.eye(n, dtype=None) if isinstance(n, int)
+               else n.params["weight"][:, :, 0, 0] for n in lconvs]
+    dtype = next(w.dtype for n, w in zip(lconvs, weights) if not isinstance(n, int))
+    weights = [w.astype(dtype) for w in weights]
+    if layout == "block_diag":
+        total_out = sum(w.shape[0] for w in weights)
+        total_in = sum(w.shape[1] for w in weights)
+        merged = np.zeros((total_out, total_in), dtype=dtype)
+        ro = ri = 0
+        for w in weights:
+            merged[ro:ro + w.shape[0], ri:ri + w.shape[1]] = w
+            ro += w.shape[0]
+            ri += w.shape[1]
+        biases = [None if isinstance(n, int) else n.params.get("bias")
+                  for n in lconvs]
+        if any(b is not None for b in biases):
+            bias = np.concatenate([
+                b if b is not None else np.zeros(w.shape[0], dtype=dtype)
+                for b, w in zip(biases, weights)])
+        else:
+            bias = None
+    else:  # horizontal
+        out = {w.shape[0] for w in weights}
+        if len(out) != 1:
+            raise ValueError(f"add-merge needs equal output channels, got {out}")
+        merged = np.concatenate(weights, axis=1)
+        biases = [n.params.get("bias") for n in lconvs]
+        if any(b is not None for b in biases):
+            bias = np.zeros(weights[0].shape[0], dtype=dtype)
+            for b in biases:
+                if b is not None:
+                    bias = bias + b
+        else:
+            bias = None
+    params = {"weight": merged[:, :, None, None].copy()}
+    if bias is not None:
+        params["bias"] = np.asarray(bias, dtype=dtype)
+    return params
+
+
+def _merged_attrs(lconvs: list[Node | int]) -> dict:
+    nodes = [n for n in lconvs if not isinstance(n, int)]
+    return {
+        "stride": [1, 1], "padding": [0, 0], "groups": 1, "role": "lconv",
+        "merged_from": [n.name for n in nodes],
+        "orig_flops": sum(int(n.attrs.get("orig_flops", _ops.node_flops(n)))
+                          for n in nodes),
+    }
+
+
+# ---------------------------------------------------------------------------
+# concat merge (Fig. 9b -> 9a)
+# ---------------------------------------------------------------------------
+
+def merge_lconv_concat(graph: Graph, stats: TransformStats | None = None) -> TransformStats:
+    """Merge every eligible channel-concat of restore chains."""
+    stats = stats or TransformStats()
+    changed = True
+    while changed:
+        changed = False
+        consumers = graph.consumer_map()
+        for node in list(graph.nodes):
+            if node.op != "concat" or int(node.attrs.get("axis", 1)) != 1:
+                continue
+            if _try_merge_concat(graph, node, consumers, stats):
+                changed = True
+                break
+    graph.validate()
+    return stats
+
+
+def _try_merge_concat(graph: Graph, concat: Node, consumers: dict,
+                      stats: TransformStats) -> bool:
+    # classify branches: restore chains ([act ∘] lconv) or passthroughs
+    # (anything else — kept as an identity block in the merged weight)
+    chains: list[tuple[Node | None, Node] | None] = []
+    num_lconv = 0
+    for v in concat.inputs:
+        chain = _branch_chain(graph, consumers, v, allow_act=True)
+        chains.append(chain)
+        if chain is not None:
+            num_lconv += 1
+    if num_lconv == 0:
+        return False
+    acts = {chain[0].op if chain[0] is not None else None
+            for chain in chains if chain is not None}
+    if len(acts) != 1:
+        return False  # paper: applicable when the sequences share the activation
+    act_kind = acts.pop()
+    has_passthrough = any(chain is None for chain in chains)
+    if has_passthrough and act_kind is not None:
+        # a passthrough branch cannot be routed below a shared activation
+        return False
+    lconvs: list[Node | int] = []
+    reduced = []
+    for v, chain in zip(concat.inputs, chains):
+        if chain is None:
+            lconvs.append(v.shape[1])
+            reduced.append(v)
+        else:
+            lconvs.append(chain[1])
+            reduced.append(chain[1].inputs[0])
+
+    cat_reduced = make_node(graph, "concat", reduced, attrs={"axis": 1},
+                            name=f"{concat.name}.reduced")
+    merged = make_node(graph, "conv2d", [cat_reduced.output],
+                       attrs=_merged_attrs(lconvs),
+                       params=_merged_lconv_params(lconvs, "block_diag"),
+                       name=f"{concat.name}.merged_lconv")
+    new_nodes = [cat_reduced, merged]
+    final = merged
+    if act_kind is not None:
+        act_node = make_node(graph, act_kind, [merged.output],
+                             name=f"{concat.name}.merged_{act_kind}")
+        new_nodes.append(act_node)
+        final = act_node
+    graph.insert_before(concat, new_nodes)
+    graph.replace_uses(concat.output, final.output)
+    graph.remove_node(concat)
+    graph.dead_code_eliminate()
+    stats.merged_concats += 1
+    stats.details.append(f"concat {concat.name} -> merged lconv over "
+                         f"{len(lconvs)} reduced branches")
+    return True
+
+
+# ---------------------------------------------------------------------------
+# add merge (Fig. 9c -> 9a)
+# ---------------------------------------------------------------------------
+
+def merge_lconv_add(graph: Graph, stats: TransformStats | None = None) -> TransformStats:
+    """Merge every add whose operands are all restore convolutions."""
+    stats = stats or TransformStats()
+    changed = True
+    while changed:
+        changed = False
+        consumers = graph.consumer_map()
+        for node in list(graph.nodes):
+            if node.op != "add":
+                continue
+            chains = []
+            for v in node.inputs:
+                chain = _branch_chain(graph, consumers, v, allow_act=False)
+                if chain is None:
+                    chains = None
+                    break
+                chains.append(chain)
+            if not chains:
+                continue
+            lconvs = [c[1] for c in chains]
+            if len({n.params["weight"].shape[0] for n in lconvs}) != 1:
+                continue
+            reduced = [n.inputs[0] for n in lconvs]
+            cat_reduced = make_node(graph, "concat", reduced, attrs={"axis": 1},
+                                    name=f"{node.name}.reduced")
+            merged = make_node(graph, "conv2d", [cat_reduced.output],
+                               attrs=_merged_attrs(lconvs),
+                               params=_merged_lconv_params(lconvs, "horizontal"),
+                               name=f"{node.name}.merged_lconv")
+            graph.insert_before(node, [cat_reduced, merged])
+            graph.replace_uses(node.output, merged.output)
+            graph.remove_node(node)
+            graph.dead_code_eliminate()
+            stats.merged_adds += 1
+            stats.details.append(f"add {node.name} -> merged lconv over "
+                                 f"{len(lconvs)} reduced branches")
+            changed = True
+            break
+    graph.validate()
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# concat split (Fig. 9b -> 9c)
+# ---------------------------------------------------------------------------
+
+def split_concat_fconv(graph: Graph, stats: TransformStats | None = None) -> TransformStats:
+    """Split ``concat → 1×1 conv`` into per-branch convs + add."""
+    stats = stats or TransformStats()
+    changed = True
+    while changed:
+        changed = False
+        consumers = graph.consumer_map()
+        for node in list(graph.nodes):
+            if node.op != "concat" or int(node.attrs.get("axis", 1)) != 1:
+                continue
+            users = consumers.get(node.output, [])
+            if len(users) != 1 or not _ops.is_pointwise_conv(users[0]):
+                continue
+            fconv = users[0]
+            if "merged_from" in fconv.attrs:
+                continue  # never split a merged lconv back apart
+            # the split pays off only when per-branch fusion can consume
+            # it: require at least one branch to end in a restore chain
+            # (otherwise it just multiplies full-size branch outputs)
+            if not any(_branch_chain(graph, consumers, v, allow_act=True)
+                       for v in node.inputs):
+                continue
+            weight = fconv.params["weight"]
+            # interleave branch convs with a chain of binary adds so at
+            # most one branch result and the running accumulator are live
+            # at a time (an n-ary add would hold every branch at once and
+            # inflate the peak the split is meant to shrink)
+            new_nodes: list[Node] = []
+            acc = None
+            offset = 0
+            for i, v in enumerate(node.inputs):
+                c = v.shape[1]
+                params = {"weight": weight[:, offset:offset + c].copy()}
+                if i == 0 and "bias" in fconv.params:
+                    params["bias"] = fconv.params["bias"]
+                attrs = {"stride": [1, 1], "padding": [0, 0], "groups": 1,
+                         "split_from": fconv.name}
+                if fconv.attrs.get("role"):
+                    attrs["role"] = fconv.attrs["role"]
+                if "orig_flops" in fconv.attrs:
+                    attrs["orig_flops"] = int(fconv.attrs["orig_flops"])
+                branch = make_node(graph, "conv2d", [v], attrs=attrs, params=params,
+                                   name=f"{fconv.name}.branch{i}")
+                new_nodes.append(branch)
+                if acc is None:
+                    acc = branch.output
+                else:
+                    add = make_node(graph, "add", [acc, branch.output],
+                                    name=f"{fconv.name}.acc{i}")
+                    new_nodes.append(add)
+                    acc = add.output
+                offset += c
+            graph.insert_before(node, new_nodes)
+            graph.replace_uses(fconv.output, acc)
+            graph.remove_node(fconv)
+            graph.remove_node(node)
+            graph.dead_code_eliminate()
+            stats.split_concats += 1
+            stats.details.append(f"concat {node.name} + fconv {fconv.name} -> "
+                                 f"{len(node.inputs)} branch convs + add chain")
+            changed = True
+            break
+    graph.validate()
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# activation push-through (DenseNet normalization)
+# ---------------------------------------------------------------------------
+
+def push_act_through_concat(graph: Graph, stats: TransformStats | None = None) -> TransformStats:
+    """Rewrite ``act(concat(xs)) → conv1×1`` to ``concat(act(xs)) → conv1×1``.
+
+    Element-wise activations distribute over channel concatenation, so
+    the rewrite is exact.  It exposes DenseNet's composite function
+    (``concat → relu → 1×1 bottleneck``) to :func:`split_concat_fconv`,
+    whose per-branch convolutions then fuse with each branch's restore
+    chain.  Only fires when the concat's single consumer is an
+    activation whose single consumer is a 1×1 convolution — otherwise
+    it would just duplicate work.
+    """
+    stats = stats or TransformStats()
+    changed = True
+    while changed:
+        changed = False
+        consumers = graph.consumer_map()
+        for node in list(graph.nodes):
+            if node.op != "concat" or int(node.attrs.get("axis", 1)) != 1:
+                continue
+            users = consumers.get(node.output, [])
+            if len(users) != 1 or users[0].op not in _ops.ACTIVATION_OPS:
+                continue
+            act = users[0]
+            act_users = consumers.get(act.output, [])
+            if len(act_users) != 1 or not _ops.is_pointwise_conv(act_users[0]):
+                continue
+            if any(id(v) in {id(o) for o in graph.outputs}
+                   for v in (node.output, act.output)):
+                continue
+            branch_acts = []
+            for i, v in enumerate(node.inputs):
+                branch = make_node(graph, act.op, [v],
+                                   name=f"{act.name}.branch{i}")
+                branch_acts.append(branch)
+            new_concat = make_node(graph, "concat",
+                                   [n.output for n in branch_acts],
+                                   attrs={"axis": 1},
+                                   name=f"{node.name}.pushed")
+            graph.insert_before(node, branch_acts + [new_concat])
+            graph.replace_uses(act.output, new_concat.output)
+            graph.remove_node(act)
+            graph.remove_node(node)
+            graph.dead_code_eliminate()
+            stats.pushed_acts += 1
+            stats.details.append(f"{act.op} pushed through concat {node.name}")
+            changed = True
+            break
+    graph.validate()
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# upsample commute (UNet decoder normalization)
+# ---------------------------------------------------------------------------
+
+def commute_upsample_lconv(graph: Graph, stats: TransformStats | None = None) -> TransformStats:
+    """Rewrite ``upsample(act(lconv(r)))`` to ``act(lconv(upsample(r)))``.
+
+    Nearest-neighbour upsampling replicates pixels, so it commutes with
+    element-wise activations and with 1×1 convolutions; moving it below
+    the lconv makes the upsample operate on the reduced tensor and
+    exposes the branch to the concat merge.
+    """
+    stats = stats or TransformStats()
+    changed = True
+    while changed:
+        changed = False
+        consumers = graph.consumer_map()
+        for node in list(graph.nodes):
+            if node.op != "upsample_nearest":
+                continue
+            chain = _branch_chain(graph, consumers, node.inputs[0], allow_act=True)
+            if chain is None:
+                continue
+            act, lconv = chain
+            scale = int(node.attrs.get("scale", 2))
+            up_reduced = make_node(graph, "upsample_nearest", [lconv.inputs[0]],
+                                   attrs={"scale": scale},
+                                   name=f"{node.name}.on_reduced")
+            new_lconv = lconv.clone(name=graph.namer.fresh(lconv.name),
+                                    inputs=[up_reduced.output],
+                                    output=_fresh_like(graph, lconv, up_reduced))
+            new_nodes = [up_reduced, new_lconv]
+            final = new_lconv
+            if act is not None:
+                act_node = make_node(graph, act.op, [new_lconv.output],
+                                     name=graph.namer.fresh(act.name))
+                new_nodes.append(act_node)
+                final = act_node
+            graph.insert_before(node, new_nodes)
+            graph.replace_uses(node.output, final.output)
+            graph.remove_node(node)
+            graph.dead_code_eliminate()
+            stats.commuted_upsamples += 1
+            stats.details.append(f"upsample {node.name} moved onto reduced tensor")
+            changed = True
+            break
+    graph.validate()
+    return stats
+
+
+def _fresh_like(graph: Graph, template: Node, input_node: Node):
+    from ..ir.value import Value
+
+    n, _c, h, w = input_node.output.shape
+    cout = template.params["weight"].shape[0]
+    return Value(graph.namer.fresh(template.output.name),
+                 (n, cout, h, w), template.output.dtype)

@@ -1,0 +1,15 @@
+"""Synthetic datasets and metrics (offline stand-ins for ILSVRC/Carvana)."""
+
+from .metrics import dice_score, prediction_agreement, topk_accuracy
+from .synthetic import (ClassificationBatch, SegmentationBatch,
+                        classification_batch, segmentation_batch)
+
+__all__ = [
+    "ClassificationBatch",
+    "SegmentationBatch",
+    "classification_batch",
+    "segmentation_batch",
+    "topk_accuracy",
+    "dice_score",
+    "prediction_agreement",
+]

@@ -1,0 +1,41 @@
+"""Evaluation metrics: top-k accuracy and dice score (paper §4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["topk_accuracy", "dice_score", "prediction_agreement"]
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose label is in the top-``k`` predictions."""
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, classes) logits, got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(f"labels shape {labels.shape} != ({logits.shape[0]},)")
+    k = min(k, logits.shape[1])
+    topk = np.argsort(logits, axis=1)[:, -k:]
+    hits = (topk == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def dice_score(pred_mask: np.ndarray, true_mask: np.ndarray,
+               threshold: float = 0.5) -> float:
+    """Sørensen–Dice coefficient between a soft prediction and a binary
+    ground-truth mask (the Carvana metric)."""
+    if pred_mask.shape != true_mask.shape:
+        raise ValueError(f"shape mismatch: {pred_mask.shape} vs {true_mask.shape}")
+    pred = (pred_mask >= threshold).astype(np.float64)
+    true = (true_mask >= 0.5).astype(np.float64)
+    intersection = float((pred * true).sum())
+    denom = float(pred.sum() + true.sum())
+    if denom == 0.0:
+        return 1.0  # both empty: perfect agreement
+    return 2.0 * intersection / denom
+
+
+def prediction_agreement(logits_a: np.ndarray, logits_b: np.ndarray) -> float:
+    """Top-1 agreement rate between two models' logits."""
+    if logits_a.shape != logits_b.shape or logits_a.ndim != 2:
+        raise ValueError(f"expected matching 2D logits: {logits_a.shape} vs {logits_b.shape}")
+    return float((logits_a.argmax(axis=1) == logits_b.argmax(axis=1)).mean())

@@ -1,0 +1,103 @@
+"""Canonical Polyadic (CP) decomposition of convolution kernels.
+
+``W ∈ R^{Cout×Cin×Kh×Kw}`` is approximated by a rank-``R`` sum of
+outer products
+
+.. math::  W_{o,c,h,w} \\approx \\sum_{r=1}^{R} A_{o,r} B_{c,r} C_{h,r} D_{w,r}
+
+fitted with alternating least squares (CP-ALS, Kolda–Bader form with
+per-iteration column normalization).  Following Lebedev et al., the
+rank-R kernel lowers to a four-layer sequence:
+
+- **fconv**: 1×1 conv ``Cin→R`` (rows of ``Bᵀ``),
+- **depthwise Kh×1** conv, groups=R, vertical stride/padding,
+- **depthwise 1×Kw** conv, groups=R, horizontal stride/padding,
+- **lconv**: 1×1 conv ``R→Cout`` (rows of ``A``) plus original bias.
+
+The leading 1×1 reduces channels and the trailing 1×1 restores them —
+structurally identical to Tucker's fconv/lconv, which is what lets
+TeMCO's passes apply uniformly across decomposition methods (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .linalg import khatri_rao, relative_error, unfold
+
+__all__ = ["CPFactors", "cp_decompose"]
+
+
+@dataclass(frozen=True)
+class CPFactors:
+    """CP factors with weights absorbed into the first factor."""
+
+    a: np.ndarray  # (Cout, R)
+    b: np.ndarray  # (Cin, R)
+    c: np.ndarray  # (Kh, R)
+    d: np.ndarray  # (Kw, R)
+
+    @property
+    def rank(self) -> int:
+        return self.a.shape[1]
+
+    def reconstruct(self) -> np.ndarray:
+        return np.einsum("or,cr,hr,wr->ochw", self.a, self.b, self.c, self.d,
+                         optimize=True)
+
+    def num_params(self) -> int:
+        return self.a.size + self.b.size + self.c.size + self.d.size
+
+    def error(self, weight: np.ndarray) -> float:
+        return relative_error(weight, self.reconstruct())
+
+
+def cp_decompose(weight: np.ndarray, rank: int, *, max_iters: int = 60,
+                 tol: float = 1e-7, seed: int = 0) -> CPFactors:
+    """CP-ALS factorization of a 4D conv kernel.
+
+    Converges when the relative change of the fit drops below ``tol``
+    or after ``max_iters`` sweeps.  Deterministic given ``seed``.
+    """
+    if weight.ndim != 4:
+        raise ValueError(f"expected 4D conv kernel, got shape {weight.shape}")
+    rank = max(1, min(int(rank), weight.size))
+    work = weight.astype(np.float64, copy=False)
+    dims = work.shape
+    rng = np.random.default_rng(seed)
+    factors = [rng.normal(size=(d, rank)) for d in dims]
+    unfoldings = [unfold(work, m) for m in range(4)]
+    norm_w = np.linalg.norm(work)
+    prev_fit = -np.inf
+
+    for _ in range(max_iters):
+        for mode in range(4):
+            others = [factors[m] for m in range(4) if m != mode]
+            # Khatri–Rao of the other factors in unfolding order
+            kr = others[0]
+            for f in others[1:]:
+                kr = khatri_rao(kr, f)
+            gram = np.ones((rank, rank))
+            for f in others:
+                gram *= f.T @ f
+            rhs = unfoldings[mode] @ kr
+            factors[mode] = np.linalg.solve(gram.T, rhs.T).T
+            # normalize columns (absorb scale into the next solve; final
+            # scales end up in factor 0 after the last sweep below)
+            if mode != 0:
+                norms = np.linalg.norm(factors[mode], axis=0)
+                norms[norms == 0] = 1.0
+                factors[mode] /= norms
+                factors[0] *= norms
+
+        residual = relative_error(work, CPFactors(*factors).reconstruct())
+        fit = 1.0 - residual
+        if abs(fit - prev_fit) < tol:
+            break
+        prev_fit = fit
+    del norm_w
+
+    dtype = weight.dtype
+    return CPFactors(*(f.astype(dtype) for f in factors))

@@ -1,0 +1,85 @@
+"""Multilinear algebra primitives (the tensorly subset we need).
+
+Implemented directly on NumPy so the library has zero dependencies
+beyond the scientific stack: unfold/fold, mode-n products, truncated
+SVD (via ``scipy.linalg.svd`` with ``full_matrices=False`` — the
+incomplete-SVD idiom from the optimization guide), and the Khatri–Rao
+product used by CP-ALS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+__all__ = [
+    "unfold",
+    "fold",
+    "mode_dot",
+    "multi_mode_dot",
+    "truncated_svd",
+    "khatri_rao",
+    "relative_error",
+]
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``mode`` unfolding: shape ``(shape[mode], prod(other dims))``.
+
+    Uses the standard (Kolda–Bader) column ordering: the mode axis is
+    moved to the front and the remainder is flattened in C order.
+    """
+    return np.moveaxis(tensor, mode, 0).reshape(tensor.shape[mode], -1)
+
+
+def fold(matrix: np.ndarray, mode: int, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`unfold` for the given full tensor ``shape``."""
+    moved_shape = (shape[mode],) + tuple(s for i, s in enumerate(shape) if i != mode)
+    return np.moveaxis(matrix.reshape(moved_shape), 0, mode)
+
+
+def mode_dot(tensor: np.ndarray, matrix: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``mode`` product ``tensor ×_mode matrix``.
+
+    ``matrix`` has shape ``(new_dim, shape[mode])``.
+    """
+    if matrix.shape[1] != tensor.shape[mode]:
+        raise ValueError(
+            f"mode-{mode} product: matrix cols {matrix.shape[1]} != dim {tensor.shape[mode]}")
+    out = np.tensordot(matrix, tensor, axes=([1], [mode]))
+    return np.moveaxis(out, 0, mode)
+
+
+def multi_mode_dot(tensor: np.ndarray, matrices: list[np.ndarray],
+                   modes: list[int]) -> np.ndarray:
+    out = tensor
+    for matrix, mode in zip(matrices, modes):
+        out = mode_dot(out, matrix, mode)
+    return out
+
+
+def truncated_svd(matrix: np.ndarray, rank: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank-``rank`` SVD ``(U, s, Vt)`` with thin matrices."""
+    rank = int(rank)
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    u, s, vt = scipy.linalg.svd(matrix, full_matrices=False, lapack_driver="gesdd")
+    rank = min(rank, s.shape[0])
+    return u[:, :rank], s[:rank], vt[:rank]
+
+
+def khatri_rao(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Column-wise Kronecker product of ``(m, r)`` and ``(n, r)`` -> ``(m·n, r)``."""
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(f"khatri_rao rank mismatch: {a.shape[1]} vs {b.shape[1]}")
+    m, r = a.shape
+    n, _ = b.shape
+    return (a[:, None, :] * b[None, :, :]).reshape(m * n, r)
+
+
+def relative_error(original: np.ndarray, approx: np.ndarray) -> float:
+    """Frobenius relative reconstruction error."""
+    denom = float(np.linalg.norm(original))
+    if denom == 0.0:
+        return float(np.linalg.norm(approx))
+    return float(np.linalg.norm(original - approx)) / denom

@@ -1,0 +1,50 @@
+"""Data types for IR tensors.
+
+The runtime stores activations as NumPy arrays; the IR only needs the
+element size (for the allocator's byte accounting) and the NumPy dtype
+(for kernel dispatch).  Models run in ``float32`` by default; the
+equivalence checker can re-run graphs in ``float64`` to separate
+floating-point reassociation noise from genuine semantic changes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["DType"]
+
+
+class DType(enum.Enum):
+    """Element type of an IR tensor value."""
+
+    float32 = "float32"
+    float64 = "float64"
+    int32 = "int32"
+    int64 = "int64"
+    bool_ = "bool"
+
+    @property
+    def np(self) -> np.dtype:
+        """The corresponding NumPy dtype object."""
+        return np.dtype(self.value)
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element (what the allocator charges)."""
+        return self.np.itemsize
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype | type) -> "DType":
+        """Map a NumPy dtype (or array-like dtype spec) to a :class:`DType`."""
+        name = np.dtype(dtype).name
+        if name == "bool":
+            return cls.bool_
+        try:
+            return cls(name)
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported dtype for IR tensors: {name!r}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"

@@ -1,0 +1,37 @@
+"""Helpers for passes that synthesize nodes into an existing graph.
+
+:func:`make_node` builds a node with a freshly named, shape-inferred
+output value, reserving names through the graph's namer but *not*
+scheduling the node — the calling pass decides where it goes (e.g.
+"insert the copied restore layers immediately before the use of the
+skip connection", Algorithm 1 line 23).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from . import ops as _ops
+from .graph import Graph
+from .node import Node
+from .value import Value
+
+__all__ = ["make_node"]
+
+
+def make_node(graph: Graph, op: str, inputs: list[Value],
+              attrs: dict[str, Any] | None = None,
+              params: dict[str, np.ndarray] | None = None,
+              name: str | None = None) -> Node:
+    """Create (but do not schedule) a node with an inferred output value."""
+    node_name = graph.namer.fresh(name or op)
+    out = Value(graph.namer.fresh(node_name + ".out"), (), inputs[0].dtype if inputs else None)
+    node = Node(name=node_name, op=op, inputs=list(inputs), output=out,
+                attrs=attrs or {}, params=params or {})
+    shape, dtype = _ops.infer_output(node)
+    out.shape = tuple(shape)
+    out.dtype = dtype
+    _ops.validate_node(node)  # fail fast: passes get malformed nodes early
+    return node

@@ -1,0 +1,103 @@
+"""Graph nodes: one executable layer per node.
+
+A node consumes SSA :class:`~repro.ir.value.Value` inputs and defines
+exactly one output value (single-output SSA keeps the liveness and
+rewrite machinery simple; multi-output layers such as ``torch.split``
+do not occur in the evaluated model families).
+
+Weights are stored on the node in ``params`` as NumPy arrays.  This
+mirrors the paper's split between *weight tensors* (resident for the
+whole inference, Eq. 1–2) and *internal tensors* (dynamically
+allocated, Eq. 3–4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .value import Value
+
+__all__ = ["Node"]
+
+
+@dataclass(eq=False)
+class Node:
+    """One layer of the model graph.
+
+    Parameters
+    ----------
+    name:
+        Unique node name within the graph.
+    op:
+        Operation kind; must be registered in :mod:`repro.ir.ops`.
+    inputs:
+        Ordered input values.
+    output:
+        The single value this node defines.
+    attrs:
+        JSON-safe static attributes (strides, paddings, activation
+        kinds, decomposition roles, ...).
+    params:
+        Named weight arrays (e.g. ``weight``, ``bias``).  Counted as
+        weight memory, never as internal-tensor memory.
+    """
+
+    name: str
+    op: str
+    inputs: list[Value]
+    output: Value
+    attrs: dict[str, Any] = field(default_factory=dict)
+    params: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.inputs = list(self.inputs)
+        if self.output.producer is None:
+            self.output.producer = self.name
+
+    # -- convenience ---------------------------------------------------
+    @property
+    def input(self) -> Value:
+        """The sole input (raises if the node is not unary)."""
+        if len(self.inputs) != 1:
+            raise ValueError(f"node {self.name!r} ({self.op}) has {len(self.inputs)} inputs")
+        return self.inputs[0]
+
+    def param_bytes(self) -> int:
+        """Total bytes of this node's weight tensors."""
+        return sum(int(p.nbytes) for p in self.params.values())
+
+    def param_elements(self) -> int:
+        return sum(int(p.size) for p in self.params.values())
+
+    def replace_input(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` in ``inputs`` with ``new``.
+
+        Returns the number of replacements (0 if ``old`` is not used).
+        """
+        count = 0
+        for i, v in enumerate(self.inputs):
+            if v is old:
+                self.inputs[i] = new
+                count += 1
+        return count
+
+    def clone(self, name: str, inputs: list[Value], output: Value, share_params: bool = True) -> "Node":
+        """Copy this node with new name/edges.
+
+        Restore-layer copying in skip-connection optimization shares
+        the weight arrays (``share_params=True``) — the paper copies
+        *layers*, not weights, so weight memory is unchanged.
+        """
+        params = dict(self.params) if share_params else {k: v.copy() for k, v in self.params.items()}
+        return Node(name=name, op=self.op, inputs=list(inputs), output=output,
+                    attrs=dict(self.attrs), params=params)
+
+    def __repr__(self) -> str:
+        ins = ", ".join(v.name for v in self.inputs)
+        return f"<{self.op} {self.name}({ins}) -> {self.output!r}>"
+
+    def __hash__(self) -> int:
+        return id(self)

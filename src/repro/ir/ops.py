@@ -1,0 +1,516 @@
+"""Operation registry: shape inference, validation and FLOP counting.
+
+Every op kind used by the model zoo and by TeMCO's rewrites is
+registered here with three hooks:
+
+``infer``
+    Compute the output shape from input shapes + attrs.  Called by the
+    graph builder so every :class:`~repro.ir.value.Value` carries a
+    static shape (the paper's passes rely on shape inference: ``SIZE(v)``
+    in Algorithm 1/2 is exactly ``value.nbytes``).
+``validate``
+    Structural checks (arity, attr presence, weight shape consistency).
+``flops``
+    Multiply–accumulate-based FLOP estimate, used by the ``Overhead``
+    guard of skip-connection optimization (Algorithm 1, lines 1–9).
+
+The decomposition-specific convolution *roles* are plain attrs:
+
+- ``role="fconv"`` — leading 1×1 that reduces channels,
+- ``role="core"`` — the small core convolution(s),
+- ``role="lconv"`` — trailing 1×1 that restores channels.
+
+TeMCO's ``IsLConv`` check (Algorithm 2) is structural and does not need
+the attr, but the attr makes printed graphs and tests readable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+import numpy as np
+
+from .dtype import DType
+from .node import Node
+from .value import Value
+
+__all__ = [
+    "OpSpec",
+    "REGISTRY",
+    "register",
+    "get_spec",
+    "infer_output",
+    "validate_node",
+    "node_flops",
+    "conv_output_hw",
+    "ACTIVATION_OPS",
+    "POOL_OPS",
+]
+
+#: Element-wise activation op kinds that activation-layer fusion can absorb.
+ACTIVATION_OPS = ("relu", "silu", "sigmoid", "tanh",
+                  "leaky_relu", "elu", "hardswish", "gelu")
+
+#: Pooling op kinds that activation-layer fusion can absorb.
+POOL_OPS = ("maxpool2d", "avgpool2d")
+
+
+@dataclasses.dataclass(frozen=True)
+class OpSpec:
+    """Registered behaviour of one op kind."""
+
+    name: str
+    infer: Callable[[Node], tuple[tuple[int, ...], DType]]
+    validate: Callable[[Node], None]
+    flops: Callable[[Node], int]
+
+
+REGISTRY: dict[str, OpSpec] = {}
+
+
+def register(name: str, infer, validate=None, flops=None) -> None:
+    """Register an op kind (see module docstring for hook contracts)."""
+    REGISTRY[name] = OpSpec(
+        name=name,
+        infer=infer,
+        validate=validate or (lambda node: None),
+        flops=flops or (lambda node: node.output.num_elements),
+    )
+
+
+def get_spec(op: str) -> OpSpec:
+    try:
+        return REGISTRY[op]
+    except KeyError as exc:
+        raise KeyError(f"unknown op kind {op!r}; registered: {sorted(REGISTRY)}") from exc
+
+
+def infer_output(node: Node) -> tuple[tuple[int, ...], DType]:
+    """Output (shape, dtype) for a node whose inputs already have shapes."""
+    return get_spec(node.op).infer(node)
+
+
+def validate_node(node: Node) -> None:
+    """Run structural validation; raises ``ValueError`` on malformed nodes."""
+    spec = get_spec(node.op)
+    spec.validate(node)
+    shape, dtype = spec.infer(node)
+    if tuple(shape) != node.output.shape:
+        raise ValueError(
+            f"node {node.name!r} ({node.op}): output shape {node.output.shape} "
+            f"does not match inferred {tuple(shape)}"
+        )
+    if dtype != node.output.dtype:
+        raise ValueError(
+            f"node {node.name!r} ({node.op}): output dtype {node.output.dtype} "
+            f"does not match inferred {dtype}"
+        )
+
+
+def node_flops(node: Node) -> int:
+    """FLOP estimate for one node (2 × MACs for matmul-like ops)."""
+    return int(get_spec(node.op).flops(node))
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+def _pair(v) -> tuple[int, int]:
+    if isinstance(v, (tuple, list)):
+        a, b = v
+        return int(a), int(b)
+    return int(v), int(v)
+
+
+def conv_output_hw(h: int, w: int, kernel, stride, padding, dilation=(1, 1)) -> tuple[int, int]:
+    """Spatial output size of a convolution/pooling window."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    dh, dw = _pair(dilation)
+    oh = (h + 2 * ph - dh * (kh - 1) - 1) // sh + 1
+    ow = (w + 2 * pw - dw * (kw - 1) - 1) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"convolution window does not fit: input {h}x{w}, kernel {kh}x{kw}, "
+            f"stride {sh}x{sw}, padding {ph}x{pw}, dilation {dh}x{dw}"
+        )
+    return oh, ow
+
+
+def _require(cond: bool, node: Node, msg: str) -> None:
+    if not cond:
+        raise ValueError(f"node {node.name!r} ({node.op}): {msg}")
+
+
+def _nchw(node: Node, value: Value) -> tuple[int, int, int, int]:
+    _require(value.rank == 4, node, f"expected NCHW input, got shape {value.shape}")
+    return value.shape  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# convolutions
+# ---------------------------------------------------------------------------
+
+def _conv2d_infer(node: Node):
+    n, c, h, w = _nchw(node, node.input)
+    weight = node.params["weight"]
+    cout, cin_g, kh, kw = weight.shape
+    groups = int(node.attrs.get("groups", 1))
+    _require(c == cin_g * groups, node,
+             f"input channels {c} != weight in-channels {cin_g} * groups {groups}")
+    oh, ow = conv_output_hw(h, w, (kh, kw), node.attrs.get("stride", 1),
+                            node.attrs.get("padding", 0), node.attrs.get("dilation", 1))
+    return (n, cout, oh, ow), node.input.dtype
+
+
+def _conv2d_validate(node: Node) -> None:
+    _require(len(node.inputs) == 1, node, "conv2d takes one input")
+    _require("weight" in node.params, node, "missing 'weight' param")
+    weight = node.params["weight"]
+    _require(weight.ndim == 4, node, f"weight must be 4D, got {weight.shape}")
+    groups = int(node.attrs.get("groups", 1))
+    _require(weight.shape[0] % groups == 0, node,
+             f"out-channels {weight.shape[0]} not divisible by groups {groups}")
+    bias = node.params.get("bias")
+    if bias is not None:
+        _require(bias.shape == (weight.shape[0],), node,
+                 f"bias shape {bias.shape} != ({weight.shape[0]},)")
+
+
+def _conv2d_flops(node: Node) -> int:
+    weight = node.params["weight"]
+    cout, cin_g, kh, kw = weight.shape
+    n, _, oh, ow = node.output.shape
+    return 2 * n * cout * oh * ow * cin_g * kh * kw
+
+
+register("conv2d", _conv2d_infer, _conv2d_validate, _conv2d_flops)
+
+
+def _conv_transpose2d_infer(node: Node):
+    n, c, h, w = _nchw(node, node.input)
+    weight = node.params["weight"]  # (Cin, Cout/groups, Kh, Kw)
+    cin, cout_g, kh, kw = weight.shape
+    groups = int(node.attrs.get("groups", 1))
+    _require(c == cin, node, f"input channels {c} != weight in-channels {cin}")
+    sh, sw = _pair(node.attrs.get("stride", 1))
+    ph, pw = _pair(node.attrs.get("padding", 0))
+    oph, opw = _pair(node.attrs.get("output_padding", 0))
+    oh = (h - 1) * sh - 2 * ph + kh + oph
+    ow = (w - 1) * sw - 2 * pw + kw + opw
+    return (n, cout_g * groups, oh, ow), node.input.dtype
+
+
+def _conv_transpose2d_validate(node: Node) -> None:
+    _require(len(node.inputs) == 1, node, "conv_transpose2d takes one input")
+    _require("weight" in node.params, node, "missing 'weight' param")
+    _require(node.params["weight"].ndim == 4, node, "weight must be 4D")
+
+
+def _conv_transpose2d_flops(node: Node) -> int:
+    weight = node.params["weight"]
+    cin, cout_g, kh, kw = weight.shape
+    n, _, h, w = node.input.shape
+    return 2 * n * cin * h * w * cout_g * kh * kw
+
+
+register("conv_transpose2d", _conv_transpose2d_infer, _conv_transpose2d_validate,
+         _conv_transpose2d_flops)
+
+
+def _linear_infer(node: Node):
+    x = node.input
+    _require(x.rank == 2, node, f"linear expects 2D input, got {x.shape}")
+    weight = node.params["weight"]
+    _require(x.shape[1] == weight.shape[1], node,
+             f"input features {x.shape[1]} != weight in-features {weight.shape[1]}")
+    return (x.shape[0], weight.shape[0]), x.dtype
+
+
+def _linear_validate(node: Node) -> None:
+    _require(len(node.inputs) == 1, node, "linear takes one input")
+    _require("weight" in node.params and node.params["weight"].ndim == 2, node,
+             "linear requires a 2D 'weight' param")
+
+
+def _linear_flops(node: Node) -> int:
+    weight = node.params["weight"]
+    return 2 * node.input.shape[0] * weight.shape[0] * weight.shape[1]
+
+
+register("linear", _linear_infer, _linear_validate, _linear_flops)
+
+
+# ---------------------------------------------------------------------------
+# activations & elementwise
+# ---------------------------------------------------------------------------
+
+def _unary_same_shape(node: Node):
+    return node.input.shape, node.input.dtype
+
+
+def _unary_validate(node: Node) -> None:
+    _require(len(node.inputs) == 1, node, "expects exactly one input")
+
+
+for _act in ACTIVATION_OPS + ("identity", "dropout"):
+    register(_act, _unary_same_shape, _unary_validate)
+
+
+def _softmax_infer(node: Node):
+    return node.input.shape, node.input.dtype
+
+
+register("softmax", _softmax_infer, _unary_validate)
+
+
+def _add_infer(node: Node):
+    shape = node.inputs[0].shape
+    for v in node.inputs[1:]:
+        if v.shape != shape:
+            raise ValueError(f"node {node.name!r}: add operands differ: {shape} vs {v.shape}")
+    return shape, node.inputs[0].dtype
+
+
+def _add_validate(node: Node) -> None:
+    _require(len(node.inputs) >= 2, node, "add takes >= 2 inputs")
+
+
+register("add", _add_infer, _add_validate,
+         flops=lambda node: node.output.num_elements * (len(node.inputs) - 1))
+
+
+def _concat_infer(node: Node):
+    axis = int(node.attrs.get("axis", 1))
+    base = list(node.inputs[0].shape)
+    for v in node.inputs[1:]:
+        other = list(v.shape)
+        if len(other) != len(base):
+            raise ValueError(f"node {node.name!r}: concat rank mismatch")
+        for i, (a, b) in enumerate(zip(base, other)):
+            if i != axis and a != b:
+                raise ValueError(
+                    f"node {node.name!r}: concat non-axis dim {i} mismatch: {a} vs {b}")
+        base[axis] += other[axis]
+    return tuple(base), node.inputs[0].dtype
+
+
+def _concat_validate(node: Node) -> None:
+    _require(len(node.inputs) >= 2, node, "concat takes >= 2 inputs")
+    axis = int(node.attrs.get("axis", 1))
+    _require(0 <= axis < node.inputs[0].rank, node, f"bad concat axis {axis}")
+
+
+register("concat", _concat_infer, _concat_validate,
+         flops=lambda node: 0)
+
+
+# ---------------------------------------------------------------------------
+# pooling / resampling / reshaping
+# ---------------------------------------------------------------------------
+
+def _pool_infer(node: Node):
+    n, c, h, w = _nchw(node, node.input)
+    kernel = node.attrs["kernel"]
+    stride = node.attrs.get("stride", kernel)
+    padding = node.attrs.get("padding", 0)
+    oh, ow = conv_output_hw(h, w, kernel, stride, padding)
+    return (n, c, oh, ow), node.input.dtype
+
+
+def _pool_validate(node: Node) -> None:
+    _require(len(node.inputs) == 1, node, "pooling takes one input")
+    _require("kernel" in node.attrs, node, "missing 'kernel' attr")
+
+
+def _pool_flops(node: Node) -> int:
+    kh, kw = _pair(node.attrs["kernel"])
+    return node.output.num_elements * kh * kw
+
+
+register("maxpool2d", _pool_infer, _pool_validate, _pool_flops)
+register("avgpool2d", _pool_infer, _pool_validate, _pool_flops)
+
+
+def _global_avgpool_infer(node: Node):
+    n, c, _h, _w = _nchw(node, node.input)
+    return (n, c, 1, 1), node.input.dtype
+
+
+register("global_avgpool", _global_avgpool_infer, _unary_validate,
+         flops=lambda node: node.input.num_elements)
+
+
+def _upsample_infer(node: Node):
+    n, c, h, w = _nchw(node, node.input)
+    scale = int(node.attrs.get("scale", 2))
+    return (n, c, h * scale, w * scale), node.input.dtype
+
+
+def _upsample_validate(node: Node) -> None:
+    _unary_validate(node)
+    _require(int(node.attrs.get("scale", 2)) >= 1, node, "scale must be >= 1")
+
+
+register("upsample_nearest", _upsample_infer, _upsample_validate,
+         flops=lambda node: node.output.num_elements)
+
+
+def _flatten_infer(node: Node):
+    x = node.input
+    start = int(node.attrs.get("start_dim", 1))
+    _require(0 <= start < x.rank, node, f"bad start_dim {start}")
+    tail = 1
+    for d in x.shape[start:]:
+        tail *= d
+    return x.shape[:start] + (tail,), x.dtype
+
+
+register("flatten", _flatten_infer, _unary_validate, flops=lambda node: 0)
+
+
+def _batchnorm_infer(node: Node):
+    n, c, h, w = _nchw(node, node.input)
+    _require(node.params["gamma"].shape == (c,), node,
+             f"gamma shape {node.params['gamma'].shape} != ({c},)")
+    return (n, c, h, w), node.input.dtype
+
+
+def _batchnorm_validate(node: Node) -> None:
+    _require(len(node.inputs) == 1, node, "batchnorm takes one input")
+    for p in ("gamma", "beta", "mean", "var"):
+        _require(p in node.params, node, f"missing {p!r} param")
+
+
+register("batchnorm2d", _batchnorm_infer, _batchnorm_validate,
+         flops=lambda node: 2 * node.output.num_elements)
+
+
+# ---------------------------------------------------------------------------
+# fused block (Listing 1 analog)
+# ---------------------------------------------------------------------------
+
+def _fused_block_infer(node: Node):
+    n, c, h, w = _nchw(node, node.input)
+    w1 = node.params["w1"]  # (C', R_in) lconv restore matrix
+    w2 = node.params["w2"]  # (R_out, C') fconv reduce matrix
+    _require(w1.shape[1] == c, node,
+             f"fused block input channels {c} != w1 in-channels {w1.shape[1]}")
+    _require(w2.shape[1] == w1.shape[0], node,
+             f"w2 in-channels {w2.shape[1]} != w1 out-channels {w1.shape[0]}")
+    oh, ow = h, w
+    pool = node.attrs.get("pool")
+    if pool is not None:
+        oh, ow = conv_output_hw(oh, ow, pool["kernel"], pool.get("stride", pool["kernel"]),
+                                pool.get("padding", 0))
+    scale = int(node.attrs.get("upsample", 0) or 0)
+    if scale:
+        oh, ow = oh * scale, ow * scale
+    return (n, w2.shape[0], oh, ow), node.input.dtype
+
+
+def _fused_block_validate(node: Node) -> None:
+    _require(len(node.inputs) == 1, node, "fused_block takes one input")
+    for p in ("w1", "w2"):
+        _require(p in node.params and node.params[p].ndim == 2, node,
+                 f"fused_block requires 2D {p!r} param")
+    act = node.attrs.get("act")
+    _require(act is None or act in ACTIVATION_OPS, node, f"bad act {act!r}")
+    pool = node.attrs.get("pool")
+    if pool is not None:
+        _require(pool.get("kind") in ("max", "avg"), node, f"bad pool kind {pool}")
+        _require("kernel" in pool, node, "pool config missing 'kernel'")
+    _require(not (pool is not None and node.attrs.get("upsample")), node,
+             "fused_block cannot both pool and upsample")
+
+
+def _fused_block_flops(node: Node) -> int:
+    w1 = node.params["w1"]
+    w2 = node.params["w2"]
+    n, _, h, w = node.input.shape
+    cprime = w1.shape[0]
+    lconv = 2 * n * h * w * cprime * w1.shape[1]
+    # fconv runs at the post-pool/upsample resolution
+    _, _, oh, ow = node.output.shape
+    fconv = 2 * n * oh * ow * w2.shape[0] * cprime
+    act = n * h * w * cprime
+    return lconv + fconv + act
+
+
+register("fused_block", _fused_block_infer, _fused_block_validate, _fused_block_flops)
+
+
+def _fused_restore_infer(node: Node):
+    n, c, h, w = _nchw(node, node.input)
+    w1 = node.params["w1"]  # (C', R_in) lconv restore matrix
+    _require(w1.shape[1] == c, node,
+             f"fused restore input channels {c} != w1 in-channels {w1.shape[1]}")
+    oh, ow = h, w
+    pool = node.attrs.get("pool")
+    if pool is not None:
+        oh, ow = conv_output_hw(oh, ow, pool["kernel"], pool.get("stride", pool["kernel"]),
+                                pool.get("padding", 0))
+    scale = int(node.attrs.get("upsample", 0) or 0)
+    if scale:
+        oh, ow = oh * scale, ow * scale
+    return (n, w1.shape[0], oh, ow), node.input.dtype
+
+
+def _fused_restore_validate(node: Node) -> None:
+    _require(len(node.inputs) == 1, node, "fused_restore takes one input")
+    _require("w1" in node.params and node.params["w1"].ndim == 2, node,
+             "fused_restore requires 2D 'w1' param")
+    act = node.attrs.get("act")
+    _require(act is None or act in ACTIVATION_OPS, node, f"bad act {act!r}")
+    pool = node.attrs.get("pool")
+    if pool is not None:
+        _require(pool.get("kind") in ("max", "avg"), node, f"bad pool kind {pool}")
+    _require(not (pool is not None and node.attrs.get("upsample")), node,
+             "fused_restore cannot both pool and upsample")
+    _require(act is not None or pool is not None or node.attrs.get("upsample"),
+             node, "fused_restore must absorb at least one layer beyond the lconv")
+
+
+def _fused_restore_flops(node: Node) -> int:
+    w1 = node.params["w1"]
+    n, _, h, w = node.input.shape
+    return 2 * n * h * w * w1.shape[0] * w1.shape[1] + n * h * w * w1.shape[0]
+
+
+register("fused_restore", _fused_restore_infer, _fused_restore_validate,
+         _fused_restore_flops)
+
+
+# ---------------------------------------------------------------------------
+# structural predicates shared by TeMCO passes
+# ---------------------------------------------------------------------------
+
+def is_pointwise_conv(node: Node) -> bool:
+    """True for 1×1 stride-1 ungrouped convolutions."""
+    if node.op != "conv2d":
+        return False
+    weight = node.params["weight"]
+    return (weight.shape[2] == 1 and weight.shape[3] == 1
+            and _pair(node.attrs.get("stride", 1)) == (1, 1)
+            and _pair(node.attrs.get("padding", 0)) == (0, 0)
+            and int(node.attrs.get("groups", 1)) == 1)
+
+
+def is_lconv(node: Node) -> bool:
+    """Paper Algorithm 2 ``IsLConv``: 1×1 stride-1 conv that *increases*
+    the channel count — the restore convolution of a decomposed sequence."""
+    if not is_pointwise_conv(node):
+        return False
+    weight = node.params["weight"]
+    return weight.shape[0] > weight.shape[1]
+
+
+def is_fconv(node: Node) -> bool:
+    """Dual of :func:`is_lconv`: 1×1 stride-1 conv that *reduces* channels."""
+    if not is_pointwise_conv(node):
+        return False
+    weight = node.params["weight"]
+    return weight.shape[0] < weight.shape[1]

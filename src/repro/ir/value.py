@@ -1,0 +1,106 @@
+"""SSA values: the internal tensors of a model graph.
+
+A :class:`Value` is a typed, named edge in the graph.  Values carry no
+data — the executor binds them to NumPy arrays at run time, and the
+allocator charges/frees their ``nbytes`` as they become live/dead.
+
+Weight tensors are deliberately *not* Values.  Following the paper's
+memory model (§2.2), weights live on the producing :class:`~repro.ir.node.Node`
+as ``params`` and are accounted separately (loaded once, resident for
+the whole inference), while Values model the dynamically allocated
+*internal tensors* whose peak usage TeMCO optimizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .dtype import DType
+
+__all__ = ["Value", "ValueNamer"]
+
+
+@dataclass(eq=False)
+class Value:
+    """A typed SSA tensor value.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the graph (SSA: one definition).
+    shape:
+        Static shape, e.g. ``(N, C, H, W)`` for feature maps.  All shapes
+        in this system are fully static — shape inference runs at graph
+        construction time.
+    dtype:
+        Element type.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DType = DType.float32
+    #: Name of the producing node (``None`` for graph inputs).
+    producer: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        self.shape = tuple(int(d) for d in self.shape)
+        if any(d < 0 for d in self.shape):
+            raise ValueError(f"value {self.name!r} has negative dim: {self.shape}")
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count (product of dims; 1 for scalars)."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        """Size in bytes — what the allocator charges when this is live."""
+        return self.num_elements * self.dtype.itemsize
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def with_shape(self, shape: tuple[int, ...], name: str | None = None) -> "Value":
+        """A new value sharing this value's dtype with a different shape."""
+        return Value(name or self.name, tuple(shape), self.dtype)
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape)
+        return f"%{self.name}:{dims}:{self.dtype.value}"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class ValueNamer:
+    """Generates unique SSA value names within one graph.
+
+    Passes that clone nodes (e.g. skip-connection optimization copying
+    restore layers) use this to produce fresh, readable names like
+    ``relu_3.copy1``.
+    """
+
+    def __init__(self, taken: Iterator[str] | None = None) -> None:
+        self._taken: set[str] = set(taken or ())
+        self._counters: dict[str, itertools.count] = {}
+
+    def reserve(self, name: str) -> None:
+        self._taken.add(name)
+
+    def fresh(self, base: str) -> str:
+        """Return ``base`` if free, else ``base.copyN`` with minimal N."""
+        if base not in self._taken:
+            self._taken.add(base)
+            return base
+        counter = self._counters.setdefault(base, itertools.count(1))
+        while True:
+            candidate = f"{base}.copy{next(counter)}"
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate

@@ -1,0 +1,93 @@
+"""Element-wise activation kernels.
+
+Each activation is a pure ``ndarray -> ndarray`` function; the fused
+block reuses these on channel-block tiles, which is what makes
+activation-layer fusion semantics-preserving (the activation is applied
+to exactly the same elements, just in tiled order).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["relu", "silu", "sigmoid", "tanh", "leaky_relu", "elu",
+           "hardswish", "gelu", "get_activation", "softmax"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    # numerically stable piecewise logistic
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """Sigmoid-weighted linear unit (a.k.a. swish), x * sigmoid(x)."""
+    return x * sigmoid(x)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def leaky_relu(x: np.ndarray, negative_slope: float = 0.01) -> np.ndarray:
+    return np.where(x >= 0, x, negative_slope * x)
+
+
+def elu(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """Exponential linear unit: x for x>0, α(eˣ−1) otherwise."""
+    out = x.copy()
+    neg = x < 0
+    out[neg] = alpha * np.expm1(x[neg])
+    return out
+
+
+def hardswish(x: np.ndarray) -> np.ndarray:
+    """x · clip(x+3, 0, 6) / 6 (MobileNetV3's cheap swish)."""
+    return x * np.clip(x + 3.0, 0.0, 6.0) / 6.0
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation)."""
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x ** 3)))
+
+
+def softmax(x: np.ndarray, axis: int = 1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=axis, keepdims=True)
+
+
+_ACTIVATIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "relu": relu,
+    "silu": silu,
+    "sigmoid": sigmoid,
+    "tanh": tanh,
+    "leaky_relu": leaky_relu,
+    "elu": elu,
+    "hardswish": hardswish,
+    "gelu": gelu,
+}
+
+
+def get_activation(name: str, **params) -> Callable[[np.ndarray], np.ndarray]:
+    """Look up an activation; extra ``params`` (e.g. ``negative_slope``,
+    ``alpha``) are bound into the returned callable."""
+    try:
+        fn = _ACTIVATIONS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown activation {name!r}; known: {sorted(_ACTIVATIONS)}") from exc
+    if params:
+        import functools
+        return functools.partial(fn, **params)
+    return fn

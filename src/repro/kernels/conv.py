@@ -1,0 +1,105 @@
+"""Convolution kernels (forward only, NCHW).
+
+Three code paths, all vectorized:
+
+- **pointwise fast path** — 1×1 stride-1 ungrouped convs (the
+  fconv/lconv layers that dominate decomposed models) run as one
+  ``tensordot`` over the channel axis, no window view needed;
+- **depthwise path** — ``groups == C_in`` (CP decomposition's spatial
+  factors) runs as one ``einsum`` over per-channel windows;
+- **general path** — im2col windows + grouped ``tensordot``.
+
+`conv_transpose2d` is lowered to a stride-1 convolution of the
+zero-stuffed input with the spatially flipped, transposed kernel —
+the textbook equivalence, kept simple because transposed convs are a
+tiny fraction of UNet runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .im2col import pad2d, pair, sliding_windows
+
+__all__ = ["conv2d", "pointwise_conv", "conv_transpose2d"]
+
+
+def pointwise_conv(x: np.ndarray, weight2d: np.ndarray,
+                   bias: np.ndarray | None = None) -> np.ndarray:
+    """1×1 stride-1 convolution: ``y[n,o,h,w] = Σ_c W[o,c] x[n,c,h,w]``.
+
+    ``weight2d`` has shape ``(C_out, C_in)``.
+    """
+    out = np.tensordot(weight2d, x, axes=([1], [1]))  # (Cout, N, H, W)
+    out = np.moveaxis(out, 0, 1)
+    if bias is not None:
+        out = out + bias[None, :, None, None]
+    return np.ascontiguousarray(out)
+
+
+def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
+           stride=(1, 1), padding=(0, 0), groups: int = 1,
+           dilation=(1, 1)) -> np.ndarray:
+    """General 2D convolution. ``weight``: ``(C_out, C_in/groups, KH, KW)``."""
+    cout, cin_g, kh, kw = weight.shape
+    sh, sw = pair(stride)
+    n, c, _h, _w = x.shape
+    if groups == 1 and kh == 1 and kw == 1 and (sh, sw) == (1, 1) \
+            and pair(padding) == (0, 0):
+        return pointwise_conv(x, weight.reshape(cout, cin_g), bias)
+
+    xp = pad2d(x, padding)
+    win = sliding_windows(xp, (kh, kw), (sh, sw), pair(dilation))  # (N, C, OH, OW, KH, KW)
+
+    if groups == 1:
+        # contract over (C, KH, KW)
+        out = np.tensordot(win, weight, axes=([1, 4, 5], [1, 2, 3]))  # (N,OH,OW,Cout)
+        out = np.moveaxis(out, 3, 1)
+    elif groups == c and cin_g == 1:
+        # depthwise: one spatial filter per channel, channel multiplier cout//c
+        mult = cout // c
+        w = weight.reshape(c, mult, kh, kw)
+        out = np.einsum("nchwkl,cmkl->ncmhw", win, w, optimize=True)
+        out = out.reshape(n, cout, out.shape[3], out.shape[4])
+    else:
+        oh, ow = win.shape[2], win.shape[3]
+        out = np.empty((n, cout, oh, ow), dtype=x.dtype)
+        cpg_in = c // groups
+        cpg_out = cout // groups
+        for g in range(groups):
+            wg = weight[g * cpg_out:(g + 1) * cpg_out]
+            xg = win[:, g * cpg_in:(g + 1) * cpg_in]
+            og = np.tensordot(xg, wg, axes=([1, 4, 5], [1, 2, 3]))
+            out[:, g * cpg_out:(g + 1) * cpg_out] = np.moveaxis(og, 3, 1)
+    if bias is not None:
+        out = out + bias[None, :, None, None]
+    return np.ascontiguousarray(out)
+
+
+def conv_transpose2d(x: np.ndarray, weight: np.ndarray,
+                     bias: np.ndarray | None = None, stride=(1, 1),
+                     padding=(0, 0), output_padding=(0, 0)) -> np.ndarray:
+    """Transposed convolution. ``weight``: ``(C_in, C_out, KH, KW)``."""
+    cin, cout, kh, kw = weight.shape
+    sh, sw = pair(stride)
+    ph, pw = pair(padding)
+    oph, opw = pair(output_padding)
+    n, c, h, w = x.shape
+    if c != cin:
+        raise ValueError(f"input channels {c} != weight in-channels {cin}")
+
+    # zero-stuff the input according to stride
+    hs = (h - 1) * sh + 1
+    ws = (w - 1) * sw + 1
+    stuffed = np.zeros((n, c, hs, ws), dtype=x.dtype)
+    stuffed[:, :, ::sh, ::sw] = x
+
+    # equivalent direct conv: flipped kernel, swapped in/out channels,
+    # full padding reduced by the requested padding
+    wk = weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)  # (Cout, Cin, KH, KW)
+    pad_h = kh - 1 - ph
+    pad_w = kw - 1 - pw
+    if pad_h < 0 or pad_w < 0:
+        raise ValueError("padding larger than kernel-1 is not supported")
+    stuffed = np.pad(stuffed, ((0, 0), (0, 0), (pad_h, pad_h + oph), (pad_w, pad_w + opw)))
+    return conv2d(stuffed, np.ascontiguousarray(wk), bias, stride=(1, 1), padding=(0, 0))

@@ -1,0 +1,252 @@
+"""The fused ``lconv → activation [→ pool | upsample] → fconv`` kernel.
+
+This is the NumPy analog of the paper's CUDA kernel (Listing 1).  The
+CUDA version streams the restored C'-channel tensor through shared-
+memory tiles over (C', H, W); here we stream it through *channel
+blocks*: for each block of ``block_size`` restored channels we
+
+1. restore the block with the lconv weights (``w1``),
+2. apply the element-wise activation,
+3. optionally pool / nearest-upsample the block spatially,
+4. contract the block into the fconv accumulator (``w2``).
+
+At no point does the full restored tensor ``(N, C', H, W)`` exist —
+only one ``(N, block, H, W)`` tile, which is the entire memory claim of
+activation-layer fusion.  The per-element results are bit-identical to
+running the three layers separately (same contractions, same order of
+activation application; only the fconv summation order over C' changes,
+a float-reassociation the equivalence checker bounds).
+
+Correctness constraint from the paper (§3.2): the activation is
+element-wise and the fconv needs *all* activated channels per output
+element, so the sequence cannot be reordered — but it *can* be blocked
+over C', because activation is applied per element and fconv is a sum
+over C' that accumulates across blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .activation import get_activation
+from .pool import avgpool2d, maxpool2d, upsample_nearest
+
+__all__ = ["fused_block", "fused_restore", "fused_scratch_bytes",
+           "DEFAULT_BLOCK_SIZE"]
+
+#: Default number of restored channels processed per tile.
+DEFAULT_BLOCK_SIZE = 32
+
+
+def _resample(tile: np.ndarray, pool: dict[str, Any] | None,
+              upsample: int) -> np.ndarray:
+    """Apply the optional pooling / nearest-upsample step to a tile."""
+    if pool is not None:
+        stride = pool.get("stride", pool["kernel"])
+        padding = pool.get("padding", 0)
+        if pool["kind"] == "max":
+            return maxpool2d(tile, pool["kernel"], stride, padding)
+        return avgpool2d(tile, pool["kernel"], stride, padding)
+    if upsample:
+        return upsample_nearest(tile, int(upsample))
+    return tile
+
+
+def _fused_core(x_region: np.ndarray, w1: np.ndarray, b1: np.ndarray | None,
+                w2: np.ndarray | None, act_fn,
+                pool: dict[str, Any] | None, upsample: int,
+                block_size: int) -> np.ndarray:
+    """Channel-blocked lconv→act→resample[→fconv] over one spatial region."""
+    c_prime = w1.shape[0]
+    out: np.ndarray | None = None
+    for c0 in range(0, c_prime, block_size):
+        c1 = min(c0 + block_size, c_prime)
+        # (1) restore a channel block: (N, blk, h, w)
+        tile = np.einsum("nrhw,br->nbhw", x_region, w1[c0:c1], optimize=True)
+        if b1 is not None:
+            tile += b1[c0:c1][None, :, None, None]
+        # (2) activation on the tile
+        if act_fn is not None:
+            tile = act_fn(tile)
+        # (3) optional spatial resampling per block
+        tile = _resample(tile, pool, upsample)
+        if w2 is None:  # restore epilogue: write the block through
+            if out is None:
+                n = x_region.shape[0]
+                out = np.empty((n, c_prime, tile.shape[2], tile.shape[3]),
+                               dtype=x_region.dtype)
+            out[:, c0:c1] = tile
+        else:
+            # (4) accumulate into the reduced output
+            contribution = np.einsum("nbhw,ob->nohw", tile, w2[:, c0:c1],
+                                     optimize=True)
+            out = contribution if out is None else out + contribution
+    assert out is not None  # C' >= 1 by construction
+    return out
+
+
+def _spatially_tileable(h: int, w: int, spatial_tile: int,
+                        pool: dict[str, Any] | None) -> bool:
+    """Spatial tiling is exact only when no window straddles a tile edge:
+    non-overlapping unpadded pooling whose stride divides the tile, and
+    tiles that divide the input."""
+    if spatial_tile <= 0 or (h <= spatial_tile and w <= spatial_tile):
+        return False
+    if h % spatial_tile or w % spatial_tile:
+        return False
+    if pool is not None:
+        kh, kw = pool["kernel"]
+        sh, sw = pool.get("stride", pool["kernel"])
+        ph, pw = pool.get("padding", (0, 0))
+        if (kh, kw) != (sh, sw) or (ph, pw) != (0, 0):
+            return False
+        if spatial_tile % sh or spatial_tile % sw:
+            return False
+    return True
+
+
+def fused_block(x: np.ndarray, w1: np.ndarray, b1: np.ndarray | None,
+                w2: np.ndarray, b2: np.ndarray | None,
+                act: str | None = None, pool: dict[str, Any] | None = None,
+                upsample: int = 0,
+                block_size: int = DEFAULT_BLOCK_SIZE,
+                spatial_tile: int = 0,
+                act_params: dict[str, Any] | None = None) -> np.ndarray:
+    """Run the fused sequence on ``x`` of shape ``(N, R_in, H, W)``.
+
+    Parameters
+    ----------
+    w1:
+        lconv restore matrix, shape ``(C', R_in)``.
+    w2:
+        fconv reduce matrix, shape ``(R_out, C')``.
+    act:
+        Activation name or ``None`` for a pure lconv→fconv contraction.
+    pool:
+        Optional pooling config ``{"kind", "kernel", "stride", "padding"}``
+        applied between the activation and the fconv.
+    upsample:
+        Optional nearest-neighbour upsample scale (mutually exclusive
+        with ``pool``); used after the UNet decoder transformation.
+    block_size:
+        Restored channels per tile.
+    spatial_tile:
+        Optional spatial tile edge (Listing 1's 3D blocking over
+        (C', H, W)); applied only when exact — the input must tile
+        evenly and any pooling must be non-overlapping and unpadded —
+        otherwise the kernel silently falls back to channel-only
+        blocking.  Scratch memory with both blockings is
+        ``block_size · spatial_tile² · N`` elements.
+    """
+    if pool is not None and upsample:
+        raise ValueError("fused_block cannot both pool and upsample")
+    n, r_in, h, w = x.shape
+    c_prime, r_in_w = w1.shape
+    if r_in_w != r_in:
+        raise ValueError(f"w1 in-channels {r_in_w} != input channels {r_in}")
+    r_out, c_prime_w = w2.shape
+    if c_prime_w != c_prime:
+        raise ValueError(f"w2 in-channels {c_prime_w} != w1 out-channels {c_prime}")
+    act_fn = get_activation(act, **(act_params or {})) if act is not None else None
+    block_size = max(1, int(block_size))
+    spatial_tile = int(spatial_tile or 0)
+
+    if not _spatially_tileable(h, w, spatial_tile, pool):
+        out = _fused_core(x, w1, b1, w2, act_fn, pool, upsample, block_size)
+    else:
+        out = _tiled(x, w1, b1, w2, act_fn, pool, upsample, block_size,
+                     spatial_tile, out_channels=r_out)
+    if b2 is not None:
+        out += b2[None, :, None, None]
+    return np.ascontiguousarray(out)
+
+
+def _tiled(x, w1, b1, w2, act_fn, pool, upsample, block_size, spatial_tile,
+           out_channels):
+    """Loop exact spatial tiles, mapping each to its output region."""
+    n, _r, h, w = x.shape
+    if pool is not None:
+        sh, sw = pool.get("stride", pool["kernel"])
+        oh, ow = h // sh, w // sw
+
+        def out_range(y0, x0, y1, x1):
+            return y0 // sh, x0 // sw, y1 // sh, x1 // sw
+    elif upsample:
+        scale = int(upsample)
+        oh, ow = h * scale, w * scale
+
+        def out_range(y0, x0, y1, x1):
+            return y0 * scale, x0 * scale, y1 * scale, x1 * scale
+    else:
+        oh, ow = h, w
+
+        def out_range(y0, x0, y1, x1):
+            return y0, x0, y1, x1
+
+    out = np.empty((n, out_channels, oh, ow), dtype=x.dtype)
+    for y0 in range(0, h, spatial_tile):
+        for x0 in range(0, w, spatial_tile):
+            y1 = min(y0 + spatial_tile, h)
+            x1 = min(x0 + spatial_tile, w)
+            region = x[:, :, y0:y1, x0:x1]
+            oy0, ox0, oy1, ox1 = out_range(y0, x0, y1, x1)
+            out[:, :, oy0:oy1, ox0:ox1] = _fused_core(
+                region, w1, b1, w2, act_fn, pool, upsample, block_size)
+    return out
+
+
+def fused_restore(x: np.ndarray, w1: np.ndarray, b1: np.ndarray | None,
+                  act: str | None = None, pool: dict[str, Any] | None = None,
+                  upsample: int = 0,
+                  block_size: int = DEFAULT_BLOCK_SIZE,
+                  spatial_tile: int = 0,
+                  act_params: dict[str, Any] | None = None) -> np.ndarray:
+    """Restore-epilogue kernel: ``lconv → act [→ pool | upsample]`` streamed
+    through channel-block tiles, materializing only the *final* tensor.
+
+    Used where a restored tensor is genuinely needed downstream (a join
+    with multiple consumers) but the intermediate pre-activation /
+    pre-pool full tensors are not: the classic
+    ``stem.lconv → relu → maxpool`` prologue of ResNet/DenseNet.  The
+    activation's input+output pair (Eq. 3's ``2·C'H'W'`` term) never
+    coexists — each channel block is restored, activated, pooled and
+    written out before the next block is touched.  This is Listing 1
+    without the trailing fconv contraction.
+    """
+    if pool is not None and upsample:
+        raise ValueError("fused_restore cannot both pool and upsample")
+    n, r_in, h, w = x.shape
+    c_prime, r_in_w = w1.shape
+    if r_in_w != r_in:
+        raise ValueError(f"w1 in-channels {r_in_w} != input channels {r_in}")
+    act_fn = get_activation(act, **(act_params or {})) if act is not None else None
+    block_size = max(1, int(block_size))
+    spatial_tile = int(spatial_tile or 0)
+    if not _spatially_tileable(h, w, spatial_tile, pool):
+        return _fused_core(x, w1, b1, None, act_fn, pool, upsample, block_size)
+    return _tiled(x, w1, b1, None, act_fn, pool, upsample, block_size,
+                  spatial_tile, out_channels=c_prime)
+
+
+def fused_scratch_bytes(input_shape: tuple[int, ...], itemsize: int,
+                        block_size: int = DEFAULT_BLOCK_SIZE,
+                        c_prime: int | None = None,
+                        spatial_tile: int = 0) -> int:
+    """Peak scratch of :func:`fused_block`: one channel-block tile,
+    optionally further bounded by the spatial tile edge.
+
+    Reported separately from internal-tensor memory (the paper's CUDA
+    tiles live in shared memory, outside the DRAM tensor pool); exposed
+    for the tile-size ablation benchmark.
+    """
+    n, _r, h, w = input_shape
+    blk = max(1, int(block_size))
+    if c_prime is not None:
+        blk = min(blk, int(c_prime))
+    th, tw = h, w
+    if spatial_tile and h % spatial_tile == 0 and w % spatial_tile == 0:
+        th = min(h, spatial_tile)
+        tw = min(w, spatial_tile)
+    return blk * n * th * tw * itemsize

@@ -1,0 +1,57 @@
+"""Sliding-window views for convolution and pooling.
+
+Uses ``numpy.lib.stride_tricks.as_strided`` to expose all convolution
+windows as a zero-copy 6D view — the cache-friendly idiom the
+hpc-parallel guides recommend (views, not copies; the copy happens at
+most once inside the consuming GEMM).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pad2d", "sliding_windows", "pair"]
+
+
+def pair(v) -> tuple[int, int]:
+    """Normalize an int-or-pair attr to ``(int, int)``."""
+    if isinstance(v, (tuple, list)):
+        return int(v[0]), int(v[1])
+    return int(v), int(v)
+
+
+def pad2d(x: np.ndarray, padding, value: float = 0.0) -> np.ndarray:
+    """Pad the two trailing (spatial) dims of an NCHW tensor."""
+    ph, pw = pair(padding)
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                  mode="constant", constant_values=value)
+
+
+def sliding_windows(x: np.ndarray, kernel, stride, dilation=(1, 1)) -> np.ndarray:
+    """All convolution windows of an NCHW array as a read-only view.
+
+    Returns shape ``(N, C, OH, OW, KH, KW)``.  The caller must have
+    already applied padding.  ``dilation`` spaces the kernel taps —
+    still zero-copy, just larger strides on the tap axes.
+    """
+    kh, kw = pair(kernel)
+    sh, sw = pair(stride)
+    dh, dw = pair(dilation)
+    n, c, h, w = x.shape
+    eff_kh = dh * (kh - 1) + 1
+    eff_kw = dw * (kw - 1) + 1
+    oh = (h - eff_kh) // sh + 1
+    ow = (w - eff_kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(f"window {kh}x{kw} (dilation {dh}x{dw}) stride "
+                         f"{sh}x{sw} does not fit in {h}x{w}")
+    sn, sc, sh_, sw_ = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(sn, sc, sh_ * sh, sw_ * sw, sh_ * dh, sw_ * dw),
+        writeable=False,
+    )
+    return view

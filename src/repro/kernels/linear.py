@@ -1,0 +1,23 @@
+"""Dense / normalization kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["linear", "batchnorm2d"]
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """``y = x @ W.T + b`` with ``W``: ``(out_features, in_features)``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def batchnorm2d(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                mean: np.ndarray, var: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Inference-mode batch normalization with running statistics."""
+    scale = gamma / np.sqrt(var + eps)
+    shift = beta - mean * scale
+    return x * scale[None, :, None, None] + shift[None, :, None, None]

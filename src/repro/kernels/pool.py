@@ -1,0 +1,39 @@
+"""Pooling kernels (NCHW)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .im2col import pad2d, pair, sliding_windows
+
+__all__ = ["maxpool2d", "avgpool2d", "global_avgpool", "upsample_nearest"]
+
+
+def maxpool2d(x: np.ndarray, kernel, stride=None, padding=(0, 0)) -> np.ndarray:
+    """Max pooling; padded cells are ``-inf`` so they never win."""
+    if stride is None:
+        stride = kernel
+    neg = np.finfo(x.dtype).min if np.issubdtype(x.dtype, np.floating) else np.iinfo(x.dtype).min
+    xp = pad2d(x, padding, value=neg)
+    win = sliding_windows(xp, kernel, stride)
+    return np.ascontiguousarray(win.max(axis=(4, 5)))
+
+
+def avgpool2d(x: np.ndarray, kernel, stride=None, padding=(0, 0)) -> np.ndarray:
+    """Average pooling (count_include_pad semantics, matching the common
+    framework default for padded average pooling)."""
+    if stride is None:
+        stride = kernel
+    xp = pad2d(x, padding, value=0.0)
+    win = sliding_windows(xp, kernel, stride)
+    return np.ascontiguousarray(win.mean(axis=(4, 5), dtype=x.dtype))
+
+
+def global_avgpool(x: np.ndarray) -> np.ndarray:
+    return x.mean(axis=(2, 3), keepdims=True, dtype=x.dtype)
+
+
+def upsample_nearest(x: np.ndarray, scale: int) -> np.ndarray:
+    if scale == 1:
+        return x
+    return np.repeat(np.repeat(x, scale, axis=2), scale, axis=3)

@@ -1,0 +1,30 @@
+"""Benchmark model zoo (paper §4.1's 10 models of 5 architectures)."""
+
+from .alexnet import build_alexnet
+from .common import ModelSpec
+from .densenet import DENSENET_CONFIGS, build_densenet
+from .extras import (EXTRA_MODELS, build_extra, build_resnet_bottleneck,
+                     build_vgg_silu)
+from .resnet import RESNET_CONFIGS, build_resnet
+from .unet import build_unet
+from .vgg import VGG_CONFIGS, build_vgg
+from .zoo import MODEL_ZOO, build_model, model_names
+
+__all__ = [
+    "ModelSpec",
+    "MODEL_ZOO",
+    "build_model",
+    "model_names",
+    "build_alexnet",
+    "build_vgg",
+    "VGG_CONFIGS",
+    "build_resnet",
+    "RESNET_CONFIGS",
+    "build_densenet",
+    "DENSENET_CONFIGS",
+    "build_unet",
+    "EXTRA_MODELS",
+    "build_extra",
+    "build_resnet_bottleneck",
+    "build_vgg_silu",
+]

@@ -1,0 +1,36 @@
+"""AlexNet (Krizhevsky et al.), scaled to the benchmark resolution.
+
+The original network targets 224×224 inputs; the zoo default is 64×64,
+so the stem stride is reduced accordingly while keeping the
+characteristic structure: five convolutions with interleaved ReLU and
+max-pooling, then the classifier.  AlexNet has no skip connections —
+TeMCO applies only activation layer fusion to it (paper §4.1).
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from .common import classifier_head
+
+__all__ = ["build_alexnet"]
+
+
+def build_alexnet(batch: int = 4, hw: int = 64, num_classes: int = 10,
+                  seed: int = 0) -> Graph:
+    """Build AlexNet for ``(batch, 3, hw, hw)`` inputs (hw divisible by 16)."""
+    if hw % 16 != 0:
+        raise ValueError(f"AlexNet input size must be divisible by 16, got {hw}")
+    b = GraphBuilder("alexnet", seed=seed)
+    x = b.input("image", (batch, 3, hw, hw))
+
+    h = b.relu(b.conv2d(x, 64, 5, stride=2, padding=2, name="conv1"))
+    h = b.maxpool2d(h, 3, stride=2, padding=1)
+    h = b.relu(b.conv2d(h, 192, 5, padding=2, name="conv2"))
+    h = b.maxpool2d(h, 3, stride=2, padding=1)
+    h = b.relu(b.conv2d(h, 384, 3, padding=1, name="conv3"))
+    h = b.relu(b.conv2d(h, 256, 3, padding=1, name="conv4"))
+    h = b.relu(b.conv2d(h, 256, 3, padding=1, name="conv5"))
+    h = b.maxpool2d(h, 3, stride=2, padding=1)
+
+    logits = classifier_head(b, h, num_classes, hidden=512)
+    return b.finish(logits)

@@ -1,0 +1,86 @@
+"""Shared model-building helpers.
+
+All zoo models are built with :class:`~repro.ir.graph.GraphBuilder`
+from a seed, so weights are deterministic.  BatchNorm-bearing families
+(ResNet, DenseNet) are built with randomized inference statistics and
+folded with :func:`repro.core.folding.fold_batchnorm` before being
+returned — matching the paper's inference-time setting where
+frameworks fold BN into convolutions ahead of optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.folding import fold_batchnorm
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.value import Value
+
+__all__ = ["ModelSpec", "conv_relu", "conv_bn_relu", "random_batchnorm_params",
+           "classifier_head", "finish_folded"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Zoo entry: how to build one benchmark model."""
+
+    name: str
+    family: str
+    task: str  # "classification" | "segmentation"
+    default_hw: int
+    has_skip_connections: bool
+    build: Callable[..., Graph] = field(compare=False)
+
+    def __call__(self, batch: int = 4, hw: int | None = None,
+                 num_classes: int = 10, seed: int = 0) -> Graph:
+        return self.build(batch=batch, hw=hw or self.default_hw,
+                          num_classes=num_classes, seed=seed)
+
+
+def conv_relu(b: GraphBuilder, x: Value, out_channels: int, kernel: int = 3,
+              stride: int = 1, padding: int = 1, name: str | None = None) -> Value:
+    return b.relu(b.conv2d(x, out_channels, kernel, stride=stride,
+                           padding=padding, name=name))
+
+
+def random_batchnorm_params(b: GraphBuilder, channels: int) -> dict[str, np.ndarray]:
+    """Non-trivial inference statistics so BN folding is exercised."""
+    rng = b.rng
+    return {
+        "gamma": rng.uniform(0.5, 1.5, channels).astype(b.dtype.np),
+        "beta": rng.normal(0.0, 0.1, channels).astype(b.dtype.np),
+        "mean": rng.normal(0.0, 0.1, channels).astype(b.dtype.np),
+        "var": rng.uniform(0.5, 1.5, channels).astype(b.dtype.np),
+    }
+
+
+def conv_bn_relu(b: GraphBuilder, x: Value, out_channels: int, kernel: int = 3,
+                 stride: int = 1, padding: int = 1, relu: bool = True,
+                 name: str | None = None) -> Value:
+    h = b.conv2d(x, out_channels, kernel, stride=stride, padding=padding,
+                 bias=False, name=name)
+    bn = random_batchnorm_params(b, out_channels)
+    h = b.batchnorm2d(h, **bn)
+    return b.relu(h) if relu else h
+
+
+def classifier_head(b: GraphBuilder, x: Value, num_classes: int,
+                    hidden: int | None = None) -> Value:
+    """Global-average-pool classifier (keeps the FC weight budget small
+    so memory numbers are dominated by the convolutional trunk, which
+    is where TeMCO acts)."""
+    h = b.global_avgpool(x)
+    h = b.flatten(h)
+    if hidden:
+        h = b.relu(b.linear(h, hidden))
+    return b.linear(h, num_classes)
+
+
+def finish_folded(b: GraphBuilder, out: Value) -> Graph:
+    """Finalize a BN-bearing model: validate, fold BN, re-validate."""
+    g = b.finish(out)
+    fold_batchnorm(g)
+    return g

@@ -1,0 +1,75 @@
+"""DenseNet (Huang et al.), slim configuration.
+
+Every dense layer consumes the channel-concatenation of all previous
+feature maps in its block — the paper's "numerous skip connections"
+case (§4.2, 54.0% internal reduction).  The composite function follows
+DenseNet-BC with BN folded at build time: ``relu → 1×1 bottleneck →
+relu → 3×3 conv(growth)``.
+
+The zoo's ``densenet`` is a slimmed DenseNet (smaller growth rate and
+block sizes than DenseNet-121) so the NumPy substrate stays
+laptop-fast; the connectivity pattern — the property TeMCO exercises —
+is identical.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.value import Value
+from .common import classifier_head, conv_bn_relu, finish_folded
+
+__all__ = ["build_densenet", "DENSENET_CONFIGS"]
+
+#: (growth rate, init channels, layers per dense block)
+DENSENET_CONFIGS: dict[str, tuple[int, int, tuple[int, ...]]] = {
+    "densenet": (16, 32, (4, 8, 6)),
+    "densenet_deep": (12, 24, (6, 12, 8)),
+}
+
+
+def _dense_layer(b: GraphBuilder, features: list[Value], growth: int,
+                 name: str) -> Value:
+    x = b.concat(*features) if len(features) > 1 else features[0]
+    h = b.relu(x)
+    h = conv_bn_relu(b, h, 4 * growth, 1, stride=1, padding=0,
+                     name=f"{name}.bottleneck")
+    h = conv_bn_relu(b, h, growth, 3, stride=1, padding=1, relu=False,
+                     name=f"{name}.conv")
+    return h
+
+
+def _transition(b: GraphBuilder, features: list[Value], name: str) -> Value:
+    x = b.concat(*features) if len(features) > 1 else features[0]
+    h = b.relu(x)
+    out_channels = max(16, x.shape[1] // 2)
+    h = conv_bn_relu(b, h, out_channels, 1, stride=1, padding=0, relu=False,
+                     name=f"{name}.conv")
+    return b.avgpool2d(h, 2)
+
+
+def build_densenet(variant: str = "densenet", batch: int = 4, hw: int = 64,
+                   num_classes: int = 10, seed: int = 0) -> Graph:
+    """Build a DenseNet for ``(batch, 3, hw, hw)`` inputs (hw % 16 == 0)."""
+    if variant not in DENSENET_CONFIGS:
+        raise ValueError(f"unknown DenseNet variant {variant!r}; "
+                         f"known: {sorted(DENSENET_CONFIGS)}")
+    if hw % 16 != 0:
+        raise ValueError(f"DenseNet input size must be divisible by 16, got {hw}")
+    growth, init_channels, blocks = DENSENET_CONFIGS[variant]
+    b = GraphBuilder(variant, seed=seed)
+    x = b.input("image", (batch, 3, hw, hw))
+
+    h = conv_bn_relu(b, x, init_channels, 7, stride=2, padding=3, name="stem")
+    h = b.maxpool2d(h, 3, stride=2, padding=1)
+    for block_idx, num_layers in enumerate(blocks):
+        features = [h]
+        for layer_idx in range(num_layers):
+            new = _dense_layer(b, features, growth,
+                               name=f"block{block_idx + 1}.layer{layer_idx + 1}")
+            features.append(new)
+        if block_idx < len(blocks) - 1:
+            h = _transition(b, features, name=f"transition{block_idx + 1}")
+        else:
+            h = b.relu(b.concat(*features))
+    logits = classifier_head(b, h, num_classes)
+    return finish_folded(b, logits)

@@ -1,0 +1,113 @@
+"""Extra model variants beyond the paper's 10-model benchmark set.
+
+These exercise code paths the core zoo does not:
+
+- ``resnet_bottleneck`` — ResNet with 1×1–3×3–1×1 bottleneck blocks
+  (the ResNet-50 family).  The block's own 1×1 convs structurally
+  *are* fconv/lconv pairs, so activation layer fusion applies even
+  before decomposition — an interesting interaction case.
+- ``vgg11_silu`` — VGG-11 with SiLU activations (paper §3.2 names SiLU
+  as a fusable non-decomposed activation).
+- ``unet_transpose`` — UNet with learned 2×2 transposed-convolution
+  upsampling, exercising ``conv_transpose2d`` end-to-end.
+
+They are *not* part of the Figure-10/11/12 reproductions (the paper's
+set is fixed) but are tested and usable through the same API.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.value import Value
+from .common import ModelSpec, classifier_head, conv_bn_relu, finish_folded
+from .unet import build_unet
+from .vgg import VGG_CONFIGS
+
+__all__ = ["EXTRA_MODELS", "build_resnet_bottleneck", "build_vgg_silu",
+           "build_extra"]
+
+
+def _bottleneck_block(b: GraphBuilder, x: Value, width: int, stride: int,
+                      expansion: int, name: str) -> Value:
+    identity = x
+    out_channels = width * expansion
+    h = conv_bn_relu(b, x, width, 1, stride=1, padding=0, name=f"{name}.reduce")
+    h = conv_bn_relu(b, h, width, 3, stride=stride, padding=1,
+                     name=f"{name}.spatial")
+    h = conv_bn_relu(b, h, out_channels, 1, stride=1, padding=0, relu=False,
+                     name=f"{name}.expand")
+    if stride != 1 or x.shape[1] != out_channels:
+        identity = conv_bn_relu(b, x, out_channels, 1, stride=stride,
+                                padding=0, relu=False,
+                                name=f"{name}.downsample")
+    return b.relu(b.add(h, identity))
+
+
+def build_resnet_bottleneck(batch: int = 4, hw: int = 64, num_classes: int = 10,
+                            seed: int = 0, *, blocks: tuple[int, ...] = (2, 2, 2),
+                            expansion: int = 4) -> Graph:
+    """A compact bottleneck-block ResNet (ResNet-50 family, shallow)."""
+    if hw % 16 != 0:
+        raise ValueError(f"input size must be divisible by 16, got {hw}")
+    b = GraphBuilder("resnet_bottleneck", seed=seed)
+    x = b.input("image", (batch, 3, hw, hw))
+    h = conv_bn_relu(b, x, 32, 7, stride=2, padding=3, name="stem")
+    h = b.maxpool2d(h, 3, stride=2, padding=1)
+    width = 16
+    for stage, count in enumerate(blocks):
+        for block in range(count):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            h = _bottleneck_block(b, h, width, stride, expansion,
+                                  name=f"layer{stage + 1}.{block}")
+        width *= 2
+    logits = classifier_head(b, h, num_classes)
+    return finish_folded(b, logits)
+
+
+def build_vgg_silu(batch: int = 4, hw: int = 64, num_classes: int = 10,
+                   seed: int = 0) -> Graph:
+    """VGG-11 with SiLU activations instead of ReLU."""
+    if hw % 32 != 0:
+        raise ValueError(f"input size must be divisible by 32, got {hw}")
+    b = GraphBuilder("vgg11_silu", seed=seed)
+    h = b.input("image", (batch, 3, hw, hw))
+    conv_idx = 0
+    for entry in VGG_CONFIGS["vgg11"]:
+        if entry == "M":
+            h = b.maxpool2d(h, 2)
+        else:
+            conv_idx += 1
+            h = b.silu(b.conv2d(h, int(entry), 3, padding=1,
+                                name=f"conv{conv_idx}"))
+    logits = classifier_head(b, h, num_classes, hidden=256)
+    return b.finish(logits)
+
+
+def _unet_transpose(batch: int = 4, hw: int = 64, num_classes: int = 1,
+                    seed: int = 0) -> Graph:
+    return build_unet(batch=batch, hw=hw, num_classes=num_classes, seed=seed,
+                      base_channels=16, depth=3, use_transpose=True)
+
+
+EXTRA_MODELS: dict[str, ModelSpec] = {
+    "resnet_bottleneck": ModelSpec("resnet_bottleneck", "ResNet",
+                                   "classification", 64, True,
+                                   build_resnet_bottleneck),
+    "vgg11_silu": ModelSpec("vgg11_silu", "VGG", "classification", 64, False,
+                            build_vgg_silu),
+    "unet_transpose": ModelSpec("unet_transpose", "UNet", "segmentation", 64,
+                                True, _unet_transpose),
+}
+
+
+def build_extra(name: str, batch: int = 4, hw: int | None = None,
+                num_classes: int | None = None, seed: int = 0) -> Graph:
+    """Build an extra model variant by name."""
+    try:
+        spec = EXTRA_MODELS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown extra model {name!r}; "
+                       f"available: {sorted(EXTRA_MODELS)}") from exc
+    if num_classes is None:
+        num_classes = 1 if spec.task == "segmentation" else 10
+    return spec(batch=batch, hw=hw, num_classes=num_classes, seed=seed)

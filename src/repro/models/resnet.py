@@ -1,0 +1,62 @@
+"""ResNet-18/34 (He et al.) with basic blocks.
+
+Built with batch normalization (randomized inference statistics) that
+is folded into the convolutions at build time.  The identity skip
+connections joined by ``add`` are the paper's hard case: restore
+chains recurse block-by-block and terminate at the stage-boundary
+downsample convolutions, so skip-connection optimization is naturally
+selective and most of TeMCO's benefit comes from fusing the
+``lconv → relu → fconv`` pattern inside each block (§4.2's 30.7%).
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.value import Value
+from .common import classifier_head, conv_bn_relu, finish_folded
+
+__all__ = ["build_resnet", "RESNET_CONFIGS"]
+
+#: blocks per stage
+RESNET_CONFIGS: dict[str, list[int]] = {
+    "resnet18": [2, 2, 2, 2],
+    "resnet34": [3, 4, 6, 3],
+}
+
+_STAGE_CHANNELS = [64, 128, 256, 512]
+
+
+def _basic_block(b: GraphBuilder, x: Value, channels: int, stride: int,
+                 name: str) -> Value:
+    identity = x
+    h = conv_bn_relu(b, x, channels, 3, stride=stride, padding=1,
+                     name=f"{name}.conv1")
+    h = conv_bn_relu(b, h, channels, 3, stride=1, padding=1, relu=False,
+                     name=f"{name}.conv2")
+    if stride != 1 or x.shape[1] != channels:
+        identity = conv_bn_relu(b, x, channels, 1, stride=stride, padding=0,
+                                relu=False, name=f"{name}.downsample")
+    return b.relu(b.add(h, identity))
+
+
+def build_resnet(variant: str = "resnet18", batch: int = 4, hw: int = 64,
+                 num_classes: int = 10, seed: int = 0) -> Graph:
+    """Build a ResNet for ``(batch, 3, hw, hw)`` inputs (hw % 32 == 0)."""
+    if variant not in RESNET_CONFIGS:
+        raise ValueError(f"unknown ResNet variant {variant!r}; "
+                         f"known: {sorted(RESNET_CONFIGS)}")
+    if hw % 32 != 0:
+        raise ValueError(f"ResNet input size must be divisible by 32, got {hw}")
+    b = GraphBuilder(variant, seed=seed)
+    x = b.input("image", (batch, 3, hw, hw))
+
+    h = conv_bn_relu(b, x, 64, 7, stride=2, padding=3, name="stem")
+    h = b.maxpool2d(h, 3, stride=2, padding=1)
+    for stage, blocks in enumerate(RESNET_CONFIGS[variant]):
+        channels = _STAGE_CHANNELS[stage]
+        for block in range(blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            h = _basic_block(b, h, channels, stride,
+                             name=f"layer{stage + 1}.{block}")
+    logits = classifier_head(b, h, num_classes)
+    return finish_folded(b, logits)

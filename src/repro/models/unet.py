@@ -1,0 +1,61 @@
+"""UNet (Ronneberger et al.) for image segmentation.
+
+The hourglass architecture whose horizontal skip connections dominate
+peak memory in the decomposed model (Figure 4a: 76.2% of the peak).
+Decoder upsampling uses nearest-neighbour resampling followed by the
+double-conv block (the common "up-convolution-free" UNet variant);
+``use_transpose=True`` switches to learned 2×2 transposed convolutions
+for a variant exercising the ``conv_transpose2d`` kernel.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.value import Value
+from .common import conv_relu
+
+__all__ = ["build_unet"]
+
+
+def _double_conv(b: GraphBuilder, x: Value, channels: int, name: str) -> Value:
+    h = conv_relu(b, x, channels, 3, padding=1, name=f"{name}.conv1")
+    return conv_relu(b, h, channels, 3, padding=1, name=f"{name}.conv2")
+
+
+def build_unet(batch: int = 4, hw: int = 96, num_classes: int = 1,
+               seed: int = 0, *, base_channels: int = 32, depth: int = 4,
+               use_transpose: bool = False) -> Graph:
+    """Build a UNet for ``(batch, 3, hw, hw)`` inputs.
+
+    ``hw`` must be divisible by ``2**depth``.  ``num_classes`` output
+    channels; a sigmoid head for the binary (Carvana-style) case.
+    """
+    if hw % (1 << depth) != 0:
+        raise ValueError(f"UNet input size must be divisible by {1 << depth}, got {hw}")
+    name = "unet" if base_channels >= 32 else "unet_small"
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("image", (batch, 3, hw, hw))
+
+    # encoder
+    skips: list[Value] = []
+    h = _double_conv(b, x, base_channels, "enc0")
+    for level in range(1, depth + 1):
+        skips.append(h)
+        h = b.maxpool2d(h, 2)
+        h = _double_conv(b, h, base_channels * (2 ** min(level, 3)),
+                         f"enc{level}")
+
+    # decoder
+    for level in range(depth, 0, -1):
+        skip = skips[level - 1]
+        if use_transpose:
+            h = b.conv_transpose2d(h, h.shape[1] // 2, 2, stride=2,
+                                   name=f"up{level}")
+        else:
+            h = b.upsample_nearest(h, 2, name=f"up{level}")
+        h = b.concat(skip, h, name=f"cat{level}")
+        h = _double_conv(b, h, skip.shape[1], f"dec{level}")
+
+    logits = b.conv2d(h, num_classes, 1, name="head")
+    mask = b.sigmoid(logits)
+    return b.finish(mask)

@@ -1,0 +1,47 @@
+"""VGG-11/13/16/19 (Simonyan & Zisserman).
+
+Classic configuration strings; plain conv+ReLU stacks with five
+max-pool stages.  VGG is the paper's showcase for activation layer
+fusion (Figure 4b): without TeMCO, every decomposed sequence restores
+its output to full width just to feed the non-decomposed ReLU/pool.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from .common import classifier_head
+
+__all__ = ["build_vgg", "VGG_CONFIGS"]
+
+#: layer configs: ints are conv output channels, "M" is a 2×2 max-pool
+VGG_CONFIGS: dict[str, list] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M",
+              512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512,
+              "M", 512, 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M", 512, 512,
+              512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+def build_vgg(variant: str = "vgg16", batch: int = 4, hw: int = 64,
+              num_classes: int = 10, seed: int = 0) -> Graph:
+    """Build a VGG variant for ``(batch, 3, hw, hw)`` inputs (hw % 32 == 0)."""
+    if variant not in VGG_CONFIGS:
+        raise ValueError(f"unknown VGG variant {variant!r}; "
+                         f"known: {sorted(VGG_CONFIGS)}")
+    if hw % 32 != 0:
+        raise ValueError(f"VGG input size must be divisible by 32, got {hw}")
+    b = GraphBuilder(variant, seed=seed)
+    h = b.input("image", (batch, 3, hw, hw))
+    conv_idx = 0
+    for entry in VGG_CONFIGS[variant]:
+        if entry == "M":
+            h = b.maxpool2d(h, 2)
+        else:
+            conv_idx += 1
+            h = b.relu(b.conv2d(h, int(entry), 3, padding=1,
+                                name=f"conv{conv_idx}"))
+    logits = classifier_head(b, h, num_classes, hidden=512)
+    return b.finish(logits)

@@ -1,0 +1,74 @@
+"""The benchmark model zoo: 10 models of 5 architectures (paper §4.1).
+
+========== ============ ============== =====================
+model      family       task           TeMCO variants
+========== ============ ============== =====================
+alexnet    AlexNet      classification Fusion
+vgg11..19  VGG          classification Fusion
+resnet18   ResNet       classification Skip-Opt(+Fusion)
+resnet34   ResNet       classification Skip-Opt(+Fusion)
+densenet   DenseNet     classification Skip-Opt(+Fusion)
+unet       UNet         segmentation   Skip-Opt(+Fusion)
+unet_small UNet         segmentation   Skip-Opt(+Fusion)
+========== ============ ============== =====================
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..ir.graph import Graph
+from .alexnet import build_alexnet
+from .common import ModelSpec
+from .densenet import build_densenet
+from .resnet import build_resnet
+from .unet import build_unet
+from .vgg import build_vgg
+
+__all__ = ["MODEL_ZOO", "build_model", "model_names"]
+
+
+def _unet_small(batch: int = 4, hw: int = 64, num_classes: int = 1,
+                seed: int = 0) -> Graph:
+    return build_unet(batch=batch, hw=hw, num_classes=num_classes, seed=seed,
+                      base_channels=16, depth=3)
+
+
+MODEL_ZOO: dict[str, ModelSpec] = {
+    "alexnet": ModelSpec("alexnet", "AlexNet", "classification", 64, False,
+                         build_alexnet),
+    "vgg11": ModelSpec("vgg11", "VGG", "classification", 64, False,
+                       functools.partial(build_vgg, "vgg11")),
+    "vgg13": ModelSpec("vgg13", "VGG", "classification", 64, False,
+                       functools.partial(build_vgg, "vgg13")),
+    "vgg16": ModelSpec("vgg16", "VGG", "classification", 64, False,
+                       functools.partial(build_vgg, "vgg16")),
+    "vgg19": ModelSpec("vgg19", "VGG", "classification", 64, False,
+                       functools.partial(build_vgg, "vgg19")),
+    "resnet18": ModelSpec("resnet18", "ResNet", "classification", 64, True,
+                          functools.partial(build_resnet, "resnet18")),
+    "resnet34": ModelSpec("resnet34", "ResNet", "classification", 64, True,
+                          functools.partial(build_resnet, "resnet34")),
+    "densenet": ModelSpec("densenet", "DenseNet", "classification", 64, True,
+                          functools.partial(build_densenet, "densenet")),
+    "unet": ModelSpec("unet", "UNet", "segmentation", 96, True, build_unet),
+    "unet_small": ModelSpec("unet_small", "UNet", "segmentation", 64, True,
+                            _unet_small),
+}
+
+
+def model_names() -> list[str]:
+    """Names of the paper's 10 benchmark models, zoo order."""
+    return list(MODEL_ZOO)
+
+
+def build_model(name: str, batch: int = 4, hw: int | None = None,
+                num_classes: int | None = None, seed: int = 0) -> Graph:
+    """Build a zoo model by name with its default resolution/classes."""
+    try:
+        spec = MODEL_ZOO[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown model {name!r}; zoo: {model_names()}") from exc
+    if num_classes is None:
+        num_classes = 1 if spec.task == "segmentation" else 10
+    return spec(batch=batch, hw=hw, num_classes=num_classes, seed=seed)

@@ -1,0 +1,33 @@
+"""Execution runtime: allocator, executor, sessions, parallel engine."""
+
+from .allocator import AllocationError, TensorAllocator
+from .arena import ArenaPlan, ArenaSlot, execute_in_arena, plan_arena
+from .engine import InferenceSession, TimingResult
+from .executor import ExecutionResult, NodeTiming, execute
+from .memory_profile import MemoryEvent, MemoryProfile
+from .parallel import ParallelRunner, shard_batch
+from .report import (compare_markdown, op_breakdown, profile_markdown,
+                     save_report, timeline_csv)
+
+__all__ = [
+    "AllocationError",
+    "TensorAllocator",
+    "ArenaPlan",
+    "ArenaSlot",
+    "plan_arena",
+    "execute_in_arena",
+    "InferenceSession",
+    "TimingResult",
+    "ExecutionResult",
+    "NodeTiming",
+    "execute",
+    "MemoryEvent",
+    "MemoryProfile",
+    "ParallelRunner",
+    "shard_batch",
+    "timeline_csv",
+    "profile_markdown",
+    "compare_markdown",
+    "op_breakdown",
+    "save_report",
+]

@@ -1,0 +1,93 @@
+"""High-level inference session.
+
+:class:`InferenceSession` is the user-facing entry point: it owns a
+validated graph, runs single inferences, repeated timed inferences
+(Figure 11's end-to-end timing protocol: warmup + median of repeats),
+and exposes the memory profile of the last run.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir.graph import Graph
+from .executor import ExecutionResult, execute
+from .memory_profile import MemoryProfile
+
+__all__ = ["InferenceSession", "TimingResult"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Repeated-inference timing summary."""
+
+    seconds_per_run: list[float]
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.seconds_per_run)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.seconds_per_run)
+
+    @property
+    def best(self) -> float:
+        return min(self.seconds_per_run)
+
+
+class InferenceSession:
+    """Run a (possibly TeMCO-optimized) model graph.
+
+    Parameters
+    ----------
+    graph:
+        A validated IR graph.  The session validates it again on
+        construction so user-assembled graphs fail fast.
+    count_fused_scratch:
+        Charge fused-kernel tiles to the internal-tensor pool (see
+        :func:`repro.runtime.executor.execute`).
+    """
+
+    def __init__(self, graph: Graph, *, count_fused_scratch: bool = False) -> None:
+        graph.validate()
+        self.graph = graph
+        self.count_fused_scratch = count_fused_scratch
+        self.last_result: ExecutionResult | None = None
+
+    @property
+    def input_names(self) -> list[str]:
+        return [v.name for v in self.graph.inputs]
+
+    def run(self, inputs: dict[str, np.ndarray] | np.ndarray, *,
+            record_timings: bool = False) -> ExecutionResult:
+        """Run one inference.  A bare array is bound to the sole input."""
+        if isinstance(inputs, np.ndarray):
+            if len(self.graph.inputs) != 1:
+                raise ValueError(
+                    f"graph has {len(self.graph.inputs)} inputs; pass a dict")
+            inputs = {self.graph.inputs[0].name: inputs}
+        result = execute(self.graph, inputs, record_timings=record_timings,
+                         count_fused_scratch=self.count_fused_scratch)
+        self.last_result = result
+        return result
+
+    def profile_memory(self, inputs: dict[str, np.ndarray] | np.ndarray) -> MemoryProfile:
+        """Run once and return the memory profile."""
+        return self.run(inputs).memory
+
+    def time_inference(self, inputs: dict[str, np.ndarray] | np.ndarray,
+                       *, warmup: int = 1, repeats: int = 3) -> TimingResult:
+        """End-to-end wall-clock timing with warmup (Figure 11 protocol)."""
+        for _ in range(warmup):
+            self.run(inputs)
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            self.run(inputs)
+            times.append(time.perf_counter() - start)
+        return TimingResult(times)

@@ -1,0 +1,188 @@
+"""Graph executor with framework-faithful memory accounting.
+
+Executes the schedule (``graph.nodes`` order) with reference-counted
+frees: a value's array is dropped — and its bytes returned to the
+allocator — immediately after its last consumer runs, exactly the
+policy the paper's Eq. 3/4 peak analysis models.  Graph inputs are
+live from the start; graph outputs stay live to the end.
+
+The executor measures, per node, the live internal bytes *during* that
+node's execution (inputs + output + long-lived tensors), producing the
+:class:`~repro.runtime.memory_profile.MemoryProfile` timeline that the
+Figure-4/10 benchmarks report, plus optional wall-clock timings for
+Figure 11.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import kernels
+from ..ir.graph import Graph
+from ..ir.value import Value
+from .allocator import TensorAllocator
+from .memory_profile import MemoryEvent, MemoryProfile
+
+__all__ = ["execute", "ExecutionResult", "NodeTiming"]
+
+
+@dataclass(frozen=True)
+class NodeTiming:
+    index: int
+    node_name: str
+    op: str
+    seconds: float
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs plus the memory/time measurements of one inference."""
+
+    outputs: dict[str, np.ndarray]
+    memory: MemoryProfile
+    timings: list[NodeTiming] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    def output(self) -> np.ndarray:
+        """The sole output (raises if the graph has several)."""
+        if len(self.outputs) != 1:
+            raise ValueError(f"graph has {len(self.outputs)} outputs: {sorted(self.outputs)}")
+        return next(iter(self.outputs.values()))
+
+
+#: element-wise ops whose output may reuse a dying input's buffer
+_INPLACE_OPS = frozenset(("relu", "silu", "sigmoid", "tanh",
+                          "leaky_relu", "elu", "hardswish", "gelu",
+                          "identity", "dropout"))
+
+
+def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
+            record_timings: bool = False,
+            count_fused_scratch: bool = False,
+            inplace_activations: bool = False,
+            check_leaks: bool = True,
+            check_finite: bool = False) -> ExecutionResult:
+    """Run ``graph`` on ``inputs`` (name -> array).
+
+    Parameters
+    ----------
+    record_timings:
+        Collect per-node wall-clock times (Figure 11).
+    count_fused_scratch:
+        If True, the fused kernels' channel-block tiles are charged to
+        the allocator as transient scratch (the honest-accounting
+        ablation); by default they are tracked separately, matching the
+        paper's placement of tiles in GPU shared memory.
+    inplace_activations:
+        Model ``inplace=True`` activations: when an element-wise op is
+        its input's last consumer, the input's bytes are released
+        *before* the output is charged, so the pair never coexists.
+        The default False matches the paper's Eq. 3/4 accounting.
+    check_leaks:
+        Assert that only graph outputs remain live at the end.
+    check_finite:
+        Debugging aid: raise ``FloatingPointError`` naming the first
+        node that produces a non-finite value (NaN/inf), instead of
+        letting it propagate silently to the output.
+    """
+    env: dict[str, np.ndarray] = {}
+    allocator = TensorAllocator()
+    profile = MemoryProfile(weight_bytes=graph.weight_bytes())
+    timings: list[NodeTiming] = []
+
+    # reference counts: number of consuming nodes (+1 for graph outputs so
+    # they are never freed mid-inference)
+    refcount: dict[str, int] = {}
+    for node in graph.nodes:
+        for v in node.inputs:
+            refcount[v.name] = refcount.get(v.name, 0) + 1
+    for v in graph.outputs:
+        refcount[v.name] = refcount.get(v.name, 0) + 1
+
+    value_by_name: dict[str, Value] = {v.name: v for v in graph.values()}
+
+    # bind and account graph inputs
+    for v in graph.inputs:
+        try:
+            arr = inputs[v.name]
+        except KeyError as exc:
+            raise KeyError(f"missing input {v.name!r}; graph inputs: "
+                           f"{[i.name for i in graph.inputs]}") from exc
+        if tuple(arr.shape) != v.shape:
+            raise ValueError(f"input {v.name!r} has shape {arr.shape}, expected {v.shape}")
+        env[v.name] = np.asarray(arr, dtype=v.dtype.np)
+        allocator.alloc(v)
+        if refcount.get(v.name, 0) == 0:
+            # unused input: free immediately (still counted as allocated once)
+            allocator.free(v)
+            del env[v.name]
+
+    output_names = {v.name for v in graph.outputs}
+    for index, node in enumerate(graph.nodes):
+        in_arrays = [env[v.name] for v in node.inputs]
+        start = time.perf_counter() if record_timings else 0.0
+        out_array = kernels.run_node(node, in_arrays)
+        if check_finite and not np.isfinite(out_array).all():
+            bad = int((~np.isfinite(out_array)).sum())
+            raise FloatingPointError(
+                f"node {node.name!r} ({node.op}) produced {bad} non-finite "
+                f"value(s) at schedule index {index}")
+        if record_timings:
+            timings.append(NodeTiming(index, node.name, node.op,
+                                      time.perf_counter() - start))
+
+        # in-place elementwise: release the dying input before charging
+        # the output, so the pair never coexists in the accounting
+        if inplace_activations and node.op in _INPLACE_OPS:
+            v = node.inputs[0]
+            if (refcount.get(v.name, 0) == 1 and v.name in env
+                    and v.name not in output_names):
+                allocator.free(value_by_name[v.name])
+                del env[v.name]
+                refcount[v.name] = 0
+
+        allocator.alloc(node.output)
+        env[node.output.name] = out_array
+
+        scratch = 0
+        if node.op in ("fused_block", "fused_restore"):
+            scratch = kernels.fused_scratch_bytes(
+                node.input.shape, node.input.dtype.itemsize,
+                block_size=int(node.attrs.get("block_size", kernels.DEFAULT_BLOCK_SIZE)),
+                c_prime=node.params["w1"].shape[0],
+                spatial_tile=int(node.attrs.get("spatial_tile", 0) or 0))
+            profile.peak_scratch_bytes = max(profile.peak_scratch_bytes, scratch)
+            if count_fused_scratch:
+                allocator.charge_scratch(scratch)
+
+        profile.events.append(MemoryEvent(
+            index=index, node_name=node.name, op=node.op,
+            live_bytes=allocator.current_bytes, scratch_bytes=scratch))
+
+        # free inputs whose last use just ran
+        for v in node.inputs:
+            refcount[v.name] -= 1
+            if refcount[v.name] == 0 and v.name in env:
+                allocator.free(value_by_name[v.name])
+                del env[v.name]
+        # a dead-end output (no consumers, not a graph output) is freed
+        # as soon as its producing layer finishes
+        if refcount.get(node.output.name, 0) == 0:
+            allocator.free(node.output)
+            del env[node.output.name]
+
+    outputs = {v.name: env[v.name] for v in graph.outputs}
+    if check_leaks:
+        allocator.assert_empty(keep={v.name for v in graph.outputs})
+
+    profile.peak_internal_bytes = allocator.peak_bytes
+    profile.peak_live_set = allocator.peak_live_set
+    profile.total_allocated_bytes = allocator.total_allocated_bytes
+    profile.num_allocations = allocator.num_allocations
+    return ExecutionResult(outputs=outputs, memory=profile, timings=timings)

@@ -1,0 +1,74 @@
+"""Memory profile data structures produced by the executor.
+
+A :class:`MemoryProfile` is the measured counterpart of the paper's
+Figures 4 and 10: a per-layer timeline of live internal-tensor bytes
+plus the weight total and the composition of the live set at the peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MemoryEvent", "MemoryProfile"]
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """Live-byte snapshot taken while one node executes.
+
+    ``live_bytes`` includes the node's inputs (not yet freed), its
+    freshly allocated output, and any still-live long-range tensors —
+    i.e. the max-of-sums quantity in the paper's Eq. 3/4.
+    """
+
+    index: int
+    node_name: str
+    op: str
+    live_bytes: int
+    scratch_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.live_bytes + self.scratch_bytes
+
+
+@dataclass
+class MemoryProfile:
+    """Full memory account of one inference."""
+
+    events: list[MemoryEvent] = field(default_factory=list)
+    peak_internal_bytes: int = 0
+    weight_bytes: int = 0
+    #: live set (value name -> bytes) captured at the peak event
+    peak_live_set: dict[str, int] = field(default_factory=dict)
+    #: cumulative allocation traffic
+    total_allocated_bytes: int = 0
+    num_allocations: int = 0
+    #: peak transient scratch of fused kernels (reported separately)
+    peak_scratch_bytes: int = 0
+
+    @property
+    def peak_total_bytes(self) -> int:
+        """Weights + internal peak — the bar height in Figure 10."""
+        return self.weight_bytes + self.peak_internal_bytes
+
+    def timeline(self) -> list[tuple[int, int]]:
+        """``(layer index, live internal bytes)`` series (Figure 4 x/y)."""
+        return [(e.index, e.live_bytes) for e in self.events]
+
+    def peak_event(self) -> MemoryEvent:
+        if not self.events:
+            raise ValueError("profile has no events")
+        return max(self.events, key=lambda e: e.live_bytes)
+
+    def live_bytes_by_value(self, names: set[str]) -> int:
+        """Bytes of the peak live set attributable to ``names``."""
+        return sum(b for n, b in self.peak_live_set.items() if n in names)
+
+    def summary(self) -> str:
+        mib = 1024 * 1024
+        return (f"peak internal {self.peak_internal_bytes / mib:.2f} MiB, "
+                f"weights {self.weight_bytes / mib:.2f} MiB, "
+                f"scratch {self.peak_scratch_bytes / mib:.2f} MiB, "
+                f"{self.num_allocations} allocations / "
+                f"{self.total_allocated_bytes / mib:.2f} MiB traffic")

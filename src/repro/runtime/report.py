@@ -1,0 +1,81 @@
+"""Report emitters: memory profiles and comparisons as CSV / Markdown.
+
+Turns :class:`~repro.runtime.memory_profile.MemoryProfile` objects into
+artifacts people actually attach to issues and papers: per-layer CSV
+timelines, Markdown comparison tables, and the op-level breakdown of
+where the peak lives.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from ..ir.graph import Graph
+from .memory_profile import MemoryProfile
+
+__all__ = ["timeline_csv", "profile_markdown", "compare_markdown",
+           "op_breakdown"]
+
+MIB = 1024 * 1024
+
+
+def timeline_csv(profile: MemoryProfile) -> str:
+    """Per-layer timeline as CSV: index, node, op, live bytes, scratch."""
+    out = io.StringIO()
+    out.write("index,node,op,live_bytes,scratch_bytes\n")
+    for e in profile.events:
+        out.write(f"{e.index},{e.node_name},{e.op},{e.live_bytes},"
+                  f"{e.scratch_bytes}\n")
+    return out.getvalue()
+
+
+def op_breakdown(profile: MemoryProfile) -> dict[str, int]:
+    """Peak live bytes observed while each op kind executes."""
+    peaks: dict[str, int] = {}
+    for e in profile.events:
+        peaks[e.op] = max(peaks.get(e.op, 0), e.live_bytes)
+    return dict(sorted(peaks.items(), key=lambda kv: -kv[1]))
+
+
+def profile_markdown(profile: MemoryProfile, title: str = "Memory profile") -> str:
+    """One profile as a Markdown section with the peak's composition."""
+    lines = [f"## {title}", "",
+             f"- peak internal: **{profile.peak_internal_bytes / MIB:.2f} MiB**",
+             f"- weights: {profile.weight_bytes / MIB:.2f} MiB",
+             f"- fused-kernel scratch: {profile.peak_scratch_bytes / MIB:.2f} MiB",
+             f"- allocations: {profile.num_allocations} "
+             f"({profile.total_allocated_bytes / MIB:.2f} MiB traffic)", ""]
+    if profile.events:
+        peak = profile.peak_event()
+        lines.append(f"Peak while executing `{peak.node_name}` ({peak.op}); "
+                     f"live set:")
+        lines.append("")
+        lines.append("| tensor | MiB |")
+        lines.append("|---|---|")
+        for name, nbytes in sorted(profile.peak_live_set.items(),
+                                   key=lambda kv: -kv[1]):
+            lines.append(f"| `{name}` | {nbytes / MIB:.3f} |")
+    return "\n".join(lines) + "\n"
+
+
+def compare_markdown(profiles: dict[str, MemoryProfile],
+                     title: str = "Variant comparison") -> str:
+    """Several variants side by side as one Markdown table."""
+    lines = [f"## {title}", "",
+             "| variant | peak internal MiB | weights MiB | total MiB |",
+             "|---|---|---|---|"]
+    baseline = None
+    for label, p in profiles.items():
+        if baseline is None:
+            baseline = p.peak_internal_bytes or 1
+        reduction = 1.0 - p.peak_internal_bytes / baseline
+        extra = f" ({reduction:+.1%})" if p is not list(profiles.values())[0] else ""
+        lines.append(f"| {label} | {p.peak_internal_bytes / MIB:.2f}{extra} "
+                     f"| {p.weight_bytes / MIB:.2f} "
+                     f"| {p.peak_total_bytes / MIB:.2f} |")
+    return "\n".join(lines) + "\n"
+
+
+def save_report(text: str, path: str | Path) -> None:
+    Path(path).write_text(text)

@@ -1,0 +1,30 @@
+"""Training extension: reverse-mode autodiff + SGD over IR graphs.
+
+Realizes the paper's accuracy workflow (§4.4): decompose, (re)train the
+decomposed model, then apply TeMCO — whose passes preserve the trained
+predictions exactly.
+"""
+
+from .autodiff import Gradients, Tape, backward, forward_with_tape, grad_check
+from .gradients import BACKWARD, UntrainableOpError, backward_node
+from .losses import bce_with_probs, mse, softmax_cross_entropy
+from .sgd import SGDConfig, TrainResult, train, train_classifier, train_segmenter
+
+__all__ = [
+    "Tape",
+    "Gradients",
+    "forward_with_tape",
+    "backward",
+    "grad_check",
+    "BACKWARD",
+    "backward_node",
+    "UntrainableOpError",
+    "softmax_cross_entropy",
+    "bce_with_probs",
+    "mse",
+    "SGDConfig",
+    "TrainResult",
+    "train",
+    "train_classifier",
+    "train_segmenter",
+]

@@ -1,0 +1,135 @@
+"""Reverse-mode automatic differentiation over the IR graph.
+
+``forward_with_tape`` runs a graph keeping every activation alive (the
+training-mode memory regime the paper contrasts with inference in §5);
+``backward`` walks the schedule in reverse accumulating vector–Jacobian
+products into input and parameter gradients.
+
+The engine differentiates *decomposed* (or original) models; fused
+TeMCO kernels are inference-only by design, mirroring the paper's
+workflow: decompose → train → TeMCO-optimize for inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import kernels
+from ..ir.graph import Graph
+from .gradients import backward_node
+
+__all__ = ["Tape", "forward_with_tape", "backward", "grad_check"]
+
+
+@dataclass
+class Tape:
+    """Cached activations of one forward pass."""
+
+    graph: Graph
+    env: dict[str, np.ndarray]
+
+    def output(self) -> np.ndarray:
+        if len(self.graph.outputs) != 1:
+            raise ValueError("tape.output() requires a single-output graph")
+        return self.env[self.graph.outputs[0].name]
+
+
+def forward_with_tape(graph: Graph, inputs: dict[str, np.ndarray]) -> Tape:
+    """Run ``graph`` keeping all intermediate activations."""
+    env: dict[str, np.ndarray] = {}
+    for v in graph.inputs:
+        arr = np.asarray(inputs[v.name], dtype=v.dtype.np)
+        if tuple(arr.shape) != v.shape:
+            raise ValueError(f"input {v.name!r}: shape {arr.shape} != {v.shape}")
+        env[v.name] = arr
+    for node in graph.nodes:
+        env[node.output.name] = kernels.run_node(
+            node, [env[v.name] for v in node.inputs])
+    return Tape(graph=graph, env=env)
+
+
+@dataclass
+class Gradients:
+    """Result of one backward pass."""
+
+    #: node name -> {param name -> gradient array}
+    params: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+    #: graph input name -> gradient array
+    inputs: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def backward(tape: Tape, grad_outputs: dict[str, np.ndarray]) -> Gradients:
+    """Accumulate VJPs through the tape.
+
+    ``grad_outputs`` maps output value names to their upstream
+    gradients (e.g. from a loss function).
+    """
+    graph = tape.graph
+    grads: dict[str, np.ndarray] = {}
+    for name, g in grad_outputs.items():
+        expected = tape.env[name].shape
+        g = np.asarray(g)
+        if g.shape != expected:
+            raise ValueError(f"grad for {name!r}: shape {g.shape} != {expected}")
+        grads[name] = g.astype(tape.env[name].dtype, copy=False)
+
+    result = Gradients()
+    for node in reversed(graph.nodes):
+        gy = grads.pop(node.output.name, None)
+        if gy is None:
+            continue  # this node does not influence any requested output
+        in_arrays = [tape.env[v.name] for v in node.inputs]
+        out_array = tape.env[node.output.name]
+        input_grads, param_grads = backward_node(node, in_arrays, out_array, gy)
+        if param_grads:
+            acc = result.params.setdefault(node.name, {})
+            for pname, g in param_grads.items():
+                acc[pname] = acc[pname] + g if pname in acc else g
+        for v, g in zip(node.inputs, input_grads):
+            if v.name in grads:
+                grads[v.name] = grads[v.name] + g
+            else:
+                grads[v.name] = g
+    for v in graph.inputs:
+        if v.name in grads:
+            result.inputs[v.name] = grads[v.name]
+    return result
+
+
+def grad_check(graph: Graph, inputs: dict[str, np.ndarray], *,
+               node_name: str, param: str, indices: list[tuple], eps: float = 1e-4,
+               loss=None) -> tuple[np.ndarray, np.ndarray]:
+    """Central-difference check of a parameter gradient.
+
+    Returns ``(analytic, numeric)`` gradient values at ``indices`` for a
+    scalar loss (default: sum of the graph output).  Used by the tests;
+    runs the forward 2×len(indices) times, so keep graphs tiny.
+    """
+    if loss is None:
+        def loss(out):
+            return float(out.sum())
+
+        def loss_grad(out):
+            return np.ones_like(out)
+    else:
+        loss, loss_grad = loss
+
+    tape = forward_with_tape(graph, inputs)
+    out_name = graph.outputs[0].name
+    grads = backward(tape, {out_name: loss_grad(tape.env[out_name])})
+    analytic = np.array([grads.params[node_name][param][idx] for idx in indices])
+
+    node = graph.find_node(node_name)
+    weight = node.params[param]
+    numeric = []
+    for idx in indices:
+        original = weight[idx]
+        weight[idx] = original + eps
+        up = loss(forward_with_tape(graph, inputs).output())
+        weight[idx] = original - eps
+        down = loss(forward_with_tape(graph, inputs).output())
+        weight[idx] = original
+        numeric.append((up - down) / (2 * eps))
+    return analytic, np.array(numeric)

@@ -1,0 +1,50 @@
+"""Loss functions: value + gradient in one call.
+
+Each loss returns ``(scalar value, grad wrt predictions)`` so the
+trainer can seed :func:`repro.train.autodiff.backward` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.activation import sigmoid, softmax
+
+__all__ = ["softmax_cross_entropy", "bce_with_probs", "mse"]
+
+
+def softmax_cross_entropy(logits: np.ndarray,
+                          labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy of softmax(logits) against integer labels."""
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, classes) logits, got {logits.shape}")
+    n = logits.shape[0]
+    probs = softmax(logits.astype(np.float64), axis=1)
+    idx = (np.arange(n), labels)
+    value = float(-np.log(np.clip(probs[idx], 1e-12, None)).mean())
+    grad = probs.copy()
+    grad[idx] -= 1.0
+    return value, (grad / n).astype(logits.dtype)
+
+
+def bce_with_probs(probs: np.ndarray,
+                   targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean binary cross-entropy for predictions already in (0, 1)
+    (e.g. the UNet's sigmoid masks)."""
+    if probs.shape != targets.shape:
+        raise ValueError(f"shape mismatch: {probs.shape} vs {targets.shape}")
+    p = np.clip(probs.astype(np.float64), 1e-7, 1.0 - 1e-7)
+    t = targets.astype(np.float64)
+    value = float(-(t * np.log(p) + (1 - t) * np.log(1 - p)).mean())
+    grad = ((p - t) / (p * (1 - p))) / p.size
+    return value, grad.astype(probs.dtype)
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error."""
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred.astype(np.float64) - target
+    value = float((diff * diff).mean())
+    grad = (2.0 * diff / diff.size).astype(pred.dtype)
+    return value, grad

@@ -1,0 +1,65 @@
+"""Random CNN generator for differential property testing.
+
+Generates structurally diverse, always-valid inference graphs: chains
+with random activations, pools, skip connections joined by add/concat,
+and occasional upsampling — the full surface TeMCO's passes pattern-
+match on.  Deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import Graph, GraphBuilder
+
+ACTS = ("relu", "silu", "sigmoid", "tanh", "leaky_relu", "elu",
+        "hardswish", "gelu")
+
+
+def random_cnn(seed: int, *, max_blocks: int = 5, hw: int = 16,
+               batch: int = 1, base_channels: int = 8) -> Graph:
+    """A random small CNN with skip connections.
+
+    Structure: a stem conv, then up to ``max_blocks`` blocks, each
+    randomly one of {plain conv+act, conv+act+pool, residual add,
+    branch+concat}; spatial dims shrink only via pools so adds/concats
+    always align.
+    """
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder(f"fuzz{seed}", seed=seed)
+    x = b.input("x", (batch, 3, hw, hw))
+    channels = base_channels * int(rng.integers(1, 3))
+    h = b.conv2d(x, channels, 3, padding=1, name="stem")
+    h = getattr(b, str(rng.choice(ACTS)))(h)
+
+    cur_hw = hw
+    num_blocks = int(rng.integers(1, max_blocks + 1))
+    for i in range(num_blocks):
+        kind = int(rng.integers(0, 4))
+        act = str(rng.choice(ACTS))
+        if kind == 0:  # plain conv + act
+            channels = base_channels * int(rng.integers(1, 5))
+            h = b.conv2d(h, channels, 3, padding=1, name=f"b{i}.conv")
+            h = getattr(b, act)(h)
+        elif kind == 1 and cur_hw >= 8:  # conv + act + pool
+            channels = base_channels * int(rng.integers(1, 5))
+            h = b.conv2d(h, channels, 3, padding=1, name=f"b{i}.conv")
+            h = getattr(b, act)(h)
+            h = b.maxpool2d(h, 2) if rng.integers(0, 2) else b.avgpool2d(h, 2)
+            cur_hw //= 2
+        elif kind == 2:  # residual add (same width)
+            skip = h
+            h = b.conv2d(h, channels, 3, padding=1, name=f"b{i}.c1")
+            h = getattr(b, act)(h)
+            h = b.conv2d(h, channels, 3, padding=1, name=f"b{i}.c2")
+            h = getattr(b, act)(b.add(h, skip))
+        else:  # two branches joined by concat
+            left = b.conv2d(h, base_channels, 3, padding=1, name=f"b{i}.l")
+            left = getattr(b, act)(left)
+            right = b.conv2d(h, base_channels, 1, name=f"b{i}.r")
+            right = getattr(b, act)(right)
+            h = b.concat(left, right, name=f"b{i}.cat")
+            channels = h.shape[1]
+            if rng.integers(0, 2):
+                h = b.conv2d(h, channels, 1, name=f"b{i}.mix")
+    return b.finish(h)

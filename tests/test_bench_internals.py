@@ -1,0 +1,87 @@
+"""Benchmark-harness internals not covered by the driver tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (PAPER_LABELS, bar_chart, build_variants, fast_mode,
+                         geomean, overhead_ratios, variant_names_for)
+from repro.bench.figures import Figure10Row, Figure11Row, internal_reduction_geomean
+from repro.models import MODEL_ZOO
+
+
+class TestLabels:
+    def test_every_variant_has_a_paper_label(self):
+        for model in MODEL_ZOO:
+            for variant in variant_names_for(model):
+                assert variant in PAPER_LABELS
+
+    def test_figure10_row_totals(self):
+        row = Figure10Row(model="m", variant="fusion", weight_mib=1.5,
+                          internal_mib=2.5)
+        assert row.total_mib == 4.0
+        assert row.label == "Fusion"
+
+
+class TestOverheadRatios:
+    def test_ignores_models_missing_a_side(self):
+        rows = [Figure11Row("a", "decomposed", 4, 1.0)]  # no optimized pair
+        assert overhead_ratios(rows) == {}
+
+    def test_multiple_batches_kept_separate(self):
+        rows = [
+            Figure11Row("a", "decomposed", 4, 1.0),
+            Figure11Row("a", "fusion", 4, 2.0),
+            Figure11Row("a", "decomposed", 32, 1.0),
+            Figure11Row("a", "fusion", 32, 3.0),
+        ]
+        ratios = overhead_ratios(rows)
+        assert ratios[4] == pytest.approx(2.0)
+        assert ratios[32] == pytest.approx(3.0)
+
+
+class TestGeomeanReduction:
+    def test_uses_best_temco_variant(self):
+        rows = [
+            Figure10Row("m", "original", 0.0, 10.0),
+            Figure10Row("m", "decomposed", 0.0, 10.0),
+            Figure10Row("m", "skip_opt", 0.0, 8.0),
+            Figure10Row("m", "skip_opt_fusion", 0.0, 2.0),
+        ]
+        assert internal_reduction_geomean(rows) == pytest.approx(0.8)
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        chart = bar_chart([("big", 4.0), ("small", 1.0)], width=40)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 40
+        assert lines[1].count("#") == 10
+
+    def test_empty_items(self):
+        assert bar_chart([], title="t") == "t"
+
+    def test_zero_values_render(self):
+        chart = bar_chart([("z", 0.0), ("one", 1.0)])
+        assert "z" in chart and "one" in chart
+
+
+class TestFastMode:
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FAST", "1")
+        assert fast_mode()
+        monkeypatch.setenv("REPRO_BENCH_FAST", "0")
+        assert not fast_mode()
+        monkeypatch.delenv("REPRO_BENCH_FAST")
+        assert not fast_mode()
+
+
+class TestVariantSet:
+    def test_input_batch_shape_matches_graph(self):
+        vs = build_variants("unet_small", batch=1, hw=32)
+        batch = vs.input_batch()
+        assert batch["image"].shape == vs.graphs["original"].inputs[0].shape
+        assert batch["image"].dtype == np.float32
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([2.0, -1.0])

@@ -1,0 +1,96 @@
+"""CLI commands run in-process."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg16" in out and "unet" in out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "unet_small", "--batch", "1", "--hw", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "peak internal" in out and "arena" in out
+
+    def test_inspect_with_ir(self, capsys):
+        assert main(["inspect", "alexnet", "--batch", "1", "--hw", "32",
+                     "--ir"]) == 0
+        out = capsys.readouterr().out
+        assert "conv2d" in out and "return" in out
+
+    def test_optimize_and_save(self, capsys, tmp_path):
+        out_path = tmp_path / "opt.npz"
+        assert main(["optimize", "unet_small", "--batch", "1", "--hw", "32",
+                     "--ratio", "0.25", "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+        assert out_path.exists()
+        # the saved graph round-trips through inspect
+        assert main(["inspect", str(out_path)]) == 0
+
+    def test_optimize_cp_method(self, capsys):
+        assert main(["optimize", "unet_small", "--batch", "1", "--hw", "32",
+                     "--method", "tt", "--ratio", "0.25"]) == 0
+        assert "reduction" in capsys.readouterr().out
+
+    def test_run(self, capsys):
+        assert main(["run", "alexnet", "--batch", "1", "--hw", "32",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock" in out
+
+    def test_bench_fig10_single_model(self, capsys):
+        assert main(["bench", "fig10", "--model", "unet_small",
+                     "--batch", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Skip-Opt+Fusion" in out
+
+    def test_bench_fig12_single_model(self, capsys):
+        assert main(["bench", "fig12", "--model", "alexnet", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "agreement" in out
+
+    def test_export_dot(self, capsys, tmp_path):
+        out = tmp_path / "g.dot"
+        assert main(["export", "alexnet", "dot", "--batch", "1", "--hw", "32",
+                     "-o", str(out)]) == 0
+        assert out.read_text().startswith("digraph")
+
+    def test_export_timeline(self, capsys, tmp_path):
+        out = tmp_path / "t.csv"
+        assert main(["export", "unet_small", "timeline", "--batch", "1",
+                     "--hw", "32", "-o", str(out)]) == 0
+        assert out.read_text().startswith("index,node,op")
+
+    def test_export_report(self, capsys, tmp_path):
+        out = tmp_path / "r.md"
+        assert main(["export", "unet_small", "report", "--batch", "1",
+                     "--hw", "32", "-o", str(out)]) == 0
+        assert "peak internal" in out.read_text()
+
+    def test_extra_model_via_cli(self, capsys):
+        assert main(["inspect", "vgg11_silu", "--batch", "1", "--hw", "32"]) == 0
+        assert "peak internal" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            main(["inspect", "resnet50"])
+
+    def test_optimize_energy_policy(self, capsys):
+        assert main(["optimize", "unet_small", "--batch", "1", "--hw", "32",
+                     "--rank-policy", "energy", "--energy", "0.7"]) == 0
+        assert "reduction" in capsys.readouterr().out
+
+    def test_selfcheck_passes(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "6/6 checks passed" in out

@@ -1,0 +1,152 @@
+"""Activation layer fusion (paper §3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FusionConfig, assert_equivalent,
+                        estimate_peak_internal, fuse_activation_layers)
+from repro.decompose import DecompositionConfig, decompose_graph
+from repro.ir import GraphBuilder
+from repro.runtime import execute
+
+from _graph_fixtures import make_chain_graph, random_input
+
+
+def _decomposed_chain(**kwargs):
+    return decompose_graph(make_chain_graph(**kwargs),
+                           DecompositionConfig(ratio=0.25))
+
+
+class TestPatternMatching:
+    def test_fuses_lconv_relu_pool_fconv(self):
+        g = _decomposed_chain()
+        stats = fuse_activation_layers(g)
+        assert stats.fused >= 1
+        assert stats.with_pool == 1
+        fused = [n for n in g.nodes if n.op == "fused_block"]
+        assert fused and fused[0].attrs["pool"]["kind"] == "max"
+
+    def test_full_tensors_eliminated(self):
+        g = _decomposed_chain()
+        peak_before = estimate_peak_internal(g)
+        fuse_activation_layers(g, FusionConfig(allow_epilogue=False))
+        assert estimate_peak_internal(g) < peak_before
+        # the c1 lconv's full-size restored output no longer exists
+        assert all("c1.lconv" not in n.name or n.op == "fused_block"
+                   for n in g.nodes)
+
+    def test_semantics_preserved(self):
+        g = _decomposed_chain()
+        before = g.clone("before")
+        fuse_activation_layers(g)
+        assert_equivalent(before, g, random_input(g), rtol=1e-3)
+
+    def test_multi_consumer_intermediate_blocks_fusion(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        up = b.conv2d(x, 32, 1, name="up")       # lconv
+        act = b.relu(up)
+        down = b.conv2d(act, 4, 1, name="down")  # fconv
+        g = b.finish(b.add(act, act), down)      # act has 2 consumers
+        stats = fuse_activation_layers(g, FusionConfig(allow_epilogue=False))
+        assert stats.fused == 0
+
+    def test_graph_output_blocks_fusion(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        up = b.conv2d(x, 32, 1, name="up")
+        act = b.relu(up)
+        down = b.conv2d(act, 4, 1, name="down")
+        g = b.finish(act, down)  # the intermediate IS an output
+        stats = fuse_activation_layers(g)
+        assert stats.fused == 0
+
+    def test_silu_fused(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        up = b.conv2d(x, 32, 1, name="up")
+        act = b.silu(up)
+        down = b.conv2d(act, 4, 1, name="down")
+        g = b.finish(down)
+        stats = fuse_activation_layers(g)
+        assert stats.fused == 1
+        assert g.nodes[-1].attrs["act"] == "silu"
+
+    def test_no_activation_pair_fused_by_default(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        up = b.conv2d(x, 32, 1, name="up")
+        down = b.conv2d(up, 4, 1, name="down")
+        g = b.finish(down)
+        assert fuse_activation_layers(g).fused == 1
+        g2 = GraphBuilder("t2", seed=0)
+        x = g2.input("x", (1, 4, 8, 8))
+        up = g2.conv2d(x, 32, 1, name="up")
+        down = g2.conv2d(up, 4, 1, name="down")
+        graph2 = g2.finish(down)
+        stats = fuse_activation_layers(graph2,
+                                       FusionConfig(require_activation=True))
+        assert stats.fused == 0
+
+    def test_block_size_recorded(self):
+        g = _decomposed_chain()
+        fuse_activation_layers(g, FusionConfig(block_size=13))
+        fused = [n for n in g.nodes if n.op.startswith("fused")]
+        assert all(n.attrs["block_size"] == 13 for n in fused)
+
+
+class TestEpilogueFusion:
+    def _stem_graph(self):
+        """lconv -> relu -> maxpool feeding a 2-consumer join."""
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        up = b.conv2d(x, 32, 1, name="up")
+        act = b.relu(up)
+        pool = b.maxpool2d(act, 2)
+        g = b.finish(b.add(pool, pool), b.sigmoid(pool))
+        return g
+
+    def test_epilogue_replaces_chain(self):
+        g = self._stem_graph()
+        stats = fuse_activation_layers(g)
+        assert stats.fused == 1
+        assert stats.epilogues == 1
+        assert any(n.op == "fused_restore" for n in g.nodes)
+
+    def test_epilogue_reduces_peak(self):
+        g = self._stem_graph()
+        peak_before = estimate_peak_internal(g)
+        fuse_activation_layers(g)
+        assert estimate_peak_internal(g) < peak_before
+
+    def test_epilogue_preserves_semantics(self):
+        g = self._stem_graph()
+        before = g.clone("before")
+        fuse_activation_layers(g)
+        inp = random_input(g)
+        a = execute(before, inp)
+        b_ = execute(g, inp)
+        for va, vb in zip(before.outputs, g.outputs):
+            np.testing.assert_allclose(a.outputs[va.name], b_.outputs[vb.name],
+                                       atol=1e-5)
+
+    def test_epilogue_disabled(self):
+        g = self._stem_graph()
+        stats = fuse_activation_layers(g, FusionConfig(allow_epilogue=False))
+        assert stats.fused == 0
+
+
+class TestScratchReporting:
+    def test_scratch_tracked_separately(self):
+        g = _decomposed_chain()
+        fuse_activation_layers(g, FusionConfig(block_size=8))
+        profile = execute(g, random_input(g)).memory
+        assert profile.peak_scratch_bytes > 0
+
+    def test_scratch_counted_when_requested(self):
+        g = _decomposed_chain()
+        fuse_activation_layers(g, FusionConfig(block_size=8))
+        inp = random_input(g)
+        default = execute(g, inp).memory
+        honest = execute(g, inp, count_fused_scratch=True).memory
+        assert honest.peak_internal_bytes >= default.peak_internal_bytes

@@ -1,0 +1,222 @@
+"""Layer transformations (paper §3.3, Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (assert_equivalent, commute_upsample_lconv,
+                        estimate_peak_internal, merge_lconv_add,
+                        merge_lconv_concat, push_act_through_concat,
+                        split_concat_fconv)
+from repro.ir import GraphBuilder, ops
+from repro.runtime import execute
+
+from _graph_fixtures import random_input
+
+
+def _two_branch_concat(act: bool = True, seed: int = 0):
+    """concat of two [relu ∘] lconv branches feeding an fconv."""
+    b = GraphBuilder("t", seed=seed)
+    x = b.input("x", (2, 6, 8, 8))
+    l1 = b.conv2d(x, 24, 1, name="lconv_a")
+    l2 = b.conv2d(x, 16, 1, name="lconv_b")
+    if act:
+        l1, l2 = b.relu(l1), b.relu(l2)
+    cat = b.concat(l1, l2, name="join")
+    out = b.conv2d(cat, 5, 1, name="after")  # 40 -> 5: fconv
+    return b.finish(out)
+
+
+class TestMergeConcat:
+    @pytest.mark.parametrize("act", [True, False])
+    def test_merges_and_preserves_semantics(self, act):
+        g = _two_branch_concat(act=act)
+        before = g.clone("before")
+        stats = merge_lconv_concat(g)
+        assert stats.merged_concats == 1
+        merged = next(n for n in g.nodes if "merged_from" in n.attrs)
+        assert ops.is_lconv(merged)
+        assert merged.params["weight"].shape[:2] == (40, 6 + 6)
+        assert_equivalent(before, g, random_input(g), rtol=1e-4)
+
+    def test_block_diagonal_structure(self):
+        g = _two_branch_concat(act=False)
+        merge_lconv_concat(g)
+        merged = next(n for n in g.nodes if "merged_from" in n.attrs)
+        w = merged.params["weight"][:, :, 0, 0]
+        # off-diagonal blocks are exactly zero
+        assert (w[:24, 6:] == 0).all()
+        assert (w[24:, :6] == 0).all()
+
+    def test_mixed_activations_block_merge(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 6, 8, 8))
+        l1 = b.relu(b.conv2d(x, 24, 1))
+        l2 = b.sigmoid(b.conv2d(x, 16, 1))
+        out = b.conv2d(b.concat(l1, l2), 5, 1)
+        g = b.finish(out)
+        assert merge_lconv_concat(g).merged_concats == 0
+
+    def test_passthrough_branch_gets_identity_block(self):
+        b = GraphBuilder("t", seed=1)
+        x = b.input("x", (1, 6, 8, 8))
+        plain = b.maxpool2d(x, 1)            # not a restore chain
+        l2 = b.conv2d(x, 16, 1, name="lconv_b")
+        cat = b.concat(plain, l2, name="join")
+        out = b.conv2d(cat, 4, 1, name="after")
+        g = b.finish(out)
+        before = g.clone("before")
+        stats = merge_lconv_concat(g)
+        assert stats.merged_concats == 1
+        merged = next(n for n in g.nodes if "merged_from" in n.attrs)
+        w = merged.params["weight"][:, :, 0, 0]
+        np.testing.assert_array_equal(w[:6, :6], np.eye(6, dtype=w.dtype))
+        assert_equivalent(before, g, random_input(g), rtol=1e-4)
+
+    def test_passthrough_with_act_blocks_merge(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 6, 8, 8))
+        plain = b.maxpool2d(x, 1)
+        l2 = b.relu(b.conv2d(x, 16, 1))
+        out = b.conv2d(b.concat(plain, l2), 4, 1)
+        g = b.finish(out)
+        assert merge_lconv_concat(g).merged_concats == 0
+
+    def test_all_passthrough_blocks_merge(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 6, 8, 8))
+        out = b.conv2d(b.concat(b.maxpool2d(x, 1), b.avgpool2d(x, 1)), 4, 1)
+        g = b.finish(out)
+        assert merge_lconv_concat(g).merged_concats == 0
+
+
+class TestMergeAdd:
+    def test_merges_equal_width_lconvs(self):
+        b = GraphBuilder("t", seed=2)
+        x = b.input("x", (2, 6, 8, 8))
+        l1 = b.conv2d(x, 24, 1, name="la")
+        l2 = b.conv2d(x, 24, 1, name="lb")
+        out = b.relu(b.add(l1, l2, name="sum"))
+        g = b.finish(out)
+        before = g.clone("before")
+        stats = merge_lconv_add(g)
+        assert stats.merged_adds == 1
+        merged = next(n for n in g.nodes if "merged_from" in n.attrs)
+        assert merged.params["weight"].shape[:2] == (24, 12)
+        assert_equivalent(before, g, random_input(g), rtol=1e-4)
+
+    def test_biases_summed(self):
+        b = GraphBuilder("t", seed=2)
+        x = b.input("x", (1, 4, 4, 4))
+        l1 = b.conv2d(x, 16, 1, bias_value=np.full(16, 2.0, np.float32), name="la")
+        l2 = b.conv2d(x, 16, 1, bias_value=np.full(16, 3.0, np.float32), name="lb")
+        g = b.finish(b.add(l1, l2))
+        merge_lconv_add(g)
+        merged = next(n for n in g.nodes if "merged_from" in n.attrs)
+        np.testing.assert_allclose(merged.params["bias"], 5.0)
+
+    def test_non_lconv_operand_blocks(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 24, 4, 4))
+        l1 = b.conv2d(x, 24, 1)  # 24 -> 24: not channel-increasing
+        g = b.finish(b.add(l1, x))
+        assert merge_lconv_add(g).merged_adds == 0
+
+
+class TestSplitConcat:
+    def test_split_preserves_semantics(self):
+        g = _two_branch_concat(act=False)
+        before = g.clone("before")
+        stats = split_concat_fconv(g)
+        assert stats.split_concats == 1
+        assert not any(n.op == "concat" for n in g.nodes)
+        branch_convs = [n for n in g.nodes if "split_from" in n.attrs]
+        assert len(branch_convs) == 2
+        assert_equivalent(before, g, random_input(g), rtol=1e-4)
+
+    def test_weight_slices_match_columns(self):
+        g = _two_branch_concat(act=False)
+        full = g.find_node("after").params["weight"].copy()
+        split_concat_fconv(g)
+        branches = sorted((n for n in g.nodes if "split_from" in n.attrs),
+                          key=lambda n: n.name)
+        np.testing.assert_array_equal(branches[0].params["weight"], full[:, :24])
+        np.testing.assert_array_equal(branches[1].params["weight"], full[:, 24:])
+
+    def test_never_splits_merged_lconv(self):
+        g = _two_branch_concat(act=False)
+        merge_lconv_concat(g)
+        stats = split_concat_fconv(g)
+        assert stats.split_concats == 0
+
+    def test_multi_consumer_concat_not_split(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 4, 4))
+        cat = b.concat(b.relu(x), b.sigmoid(x))
+        out1 = b.conv2d(cat, 2, 1)
+        out2 = b.tanh(cat)
+        g = b.finish(out1, out2)
+        assert split_concat_fconv(g).split_concats == 0
+
+    def test_binary_add_chain_bounds_liveness(self):
+        """The split's accumulation must not hold all branches at once."""
+        b = GraphBuilder("t", seed=3)
+        x = b.input("x", (1, 4, 16, 16))
+        branches = [b.conv2d(x, 16, 1, name=f"l{i}") for i in range(6)]
+        cat = b.concat(*branches, name="wide")
+        out = b.conv2d(cat, 8, 1, name="after")
+        g = b.finish(out)
+        before_peak = estimate_peak_internal(g)
+        before = g.clone("before")
+        split_concat_fconv(g)
+        after_peak = estimate_peak_internal(g)
+        assert after_peak < before_peak
+        assert_equivalent(before, g, random_input(g), rtol=1e-4)
+
+
+class TestPushActThroughConcat:
+    def test_pushes_when_followed_by_pointwise(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 4, 4))
+        cat = b.concat(b.identity(x), b.identity(x))
+        act = b.relu(cat)
+        out = b.conv2d(act, 2, 1)
+        g = b.finish(out)
+        before = g.clone("before")
+        stats = push_act_through_concat(g)
+        assert stats.pushed_acts == 1
+        # the concat's inputs are now relu outputs
+        cat_node = next(n for n in g.nodes if n.op == "concat")
+        assert all(g.producer_of(v).op == "relu" for v in cat_node.inputs)
+        assert_equivalent(before, g, random_input(g))
+
+    def test_not_pushed_without_pointwise_consumer(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 4, 4))
+        act = b.relu(b.concat(b.identity(x), b.identity(x)))
+        g = b.finish(b.maxpool2d(act, 2))
+        assert push_act_through_concat(g).pushed_acts == 0
+
+
+class TestCommuteUpsample:
+    def test_commutes_and_preserves_semantics(self):
+        b = GraphBuilder("t", seed=4)
+        x = b.input("x", (1, 4, 4, 4))
+        l = b.conv2d(x, 16, 1, name="l")
+        act = b.relu(l)
+        up = b.upsample_nearest(act, 2, name="up")
+        out = b.conv2d(up, 4, 1, name="after")
+        g = b.finish(out)
+        before = g.clone("before")
+        stats = commute_upsample_lconv(g)
+        assert stats.commuted_upsamples == 1
+        # upsample now operates on the 4-channel reduced tensor
+        up_node = next(n for n in g.nodes if n.op == "upsample_nearest")
+        assert up_node.output.shape[1] == 4
+        assert_equivalent(before, g, random_input(g), rtol=1e-4)
+
+    def test_requires_restore_chain(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 4, 4))
+        up = b.upsample_nearest(b.relu(x), 2)
+        g = b.finish(up)
+        assert commute_upsample_lconv(g).commuted_upsamples == 0

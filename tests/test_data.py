@@ -1,0 +1,118 @@
+"""Synthetic datasets and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (classification_batch, dice_score, prediction_agreement,
+                        segmentation_batch, topk_accuracy)
+
+
+class TestClassificationData:
+    def test_shapes_and_dtypes(self):
+        batch = classification_batch(8, hw=32, num_classes=5, seed=0)
+        assert batch.images.shape == (8, 3, 32, 32)
+        assert batch.images.dtype == np.float32
+        assert batch.labels.shape == (8,)
+        assert batch.labels.dtype == np.int64
+        assert batch.labels.max() < 5
+
+    def test_deterministic(self):
+        a = classification_batch(4, seed=7)
+        b = classification_batch(4, seed=7)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_class_patterns_are_separable(self):
+        # noiseless images of the same class must be identical; different
+        # classes must differ — a linear probe could learn this task
+        batch = classification_batch(64, hw=16, num_classes=3, seed=1, noise=0.0)
+        by_class = {}
+        for img, label in zip(batch.images, batch.labels):
+            by_class.setdefault(int(label), []).append(img)
+        for imgs in by_class.values():
+            for other in imgs[1:]:
+                np.testing.assert_array_equal(imgs[0], other)
+        classes = sorted(by_class)
+        assert not np.array_equal(by_class[classes[0]][0], by_class[classes[1]][0])
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            classification_batch(0)
+        with pytest.raises(ValueError):
+            classification_batch(4, num_classes=1)
+
+
+class TestSegmentationData:
+    def test_shapes(self):
+        batch = segmentation_batch(3, hw=48, seed=0)
+        assert batch.images.shape == (3, 3, 48, 48)
+        assert batch.masks.shape == (3, 1, 48, 48)
+        assert set(np.unique(batch.masks)) <= {0.0, 1.0}
+
+    def test_masks_nonempty_and_not_full(self):
+        batch = segmentation_batch(5, hw=64, seed=2)
+        for mask in batch.masks:
+            frac = mask.mean()
+            assert 0.01 < frac < 0.9
+
+    def test_blob_is_brighter_than_background(self):
+        batch = segmentation_batch(4, hw=64, seed=3, noise=0.0)
+        for img, mask in zip(batch.images, batch.masks):
+            inside = img[:, mask[0] > 0.5].mean()
+            outside = img[:, mask[0] <= 0.5].mean()
+            assert inside > outside
+
+
+class TestMetrics:
+    def test_topk_perfect(self):
+        logits = np.eye(4)
+        labels = np.arange(4)
+        assert topk_accuracy(logits, labels, k=1) == 1.0
+
+    def test_topk_k_matters(self):
+        logits = np.array([[0.0, 1.0, 2.0]])
+        labels = np.array([0])
+        assert topk_accuracy(logits, labels, k=1) == 0.0
+        assert topk_accuracy(logits, labels, k=3) == 1.0
+
+    def test_topk_shape_validation(self):
+        with pytest.raises(ValueError):
+            topk_accuracy(np.zeros((2, 3, 4)), np.zeros(2))
+        with pytest.raises(ValueError):
+            topk_accuracy(np.zeros((2, 3)), np.zeros(3))
+
+    def test_dice_identical_masks(self):
+        m = (np.random.default_rng(0).random((2, 1, 8, 8)) > 0.5).astype(float)
+        assert dice_score(m, m) == 1.0
+
+    def test_dice_disjoint_masks(self):
+        a = np.zeros((1, 1, 4, 4))
+        a[..., :2] = 1
+        b = np.zeros((1, 1, 4, 4))
+        b[..., 2:] = 1
+        assert dice_score(a, b) == 0.0
+
+    def test_dice_both_empty_is_one(self):
+        z = np.zeros((1, 1, 4, 4))
+        assert dice_score(z, z) == 1.0
+
+    def test_dice_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dice_score(np.zeros((1, 1, 4, 4)), np.zeros((1, 1, 5, 5)))
+
+    def test_agreement(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0]])
+        b = np.array([[2.0, 0.0], [1.0, 0.0]])
+        assert prediction_agreement(a, b) == 0.5
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 999), k=st.integers(1, 10))
+    def test_property_topk_monotone_in_k(self, seed, k):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(16, 10))
+        labels = rng.integers(0, 10, size=16)
+        acc_k = topk_accuracy(logits, labels, k=k)
+        acc_k1 = topk_accuracy(logits, labels, k=k + 1)
+        assert acc_k1 >= acc_k

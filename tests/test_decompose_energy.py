@@ -1,0 +1,97 @@
+"""Energy-based (VBMF-style) automatic rank selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decompose import (DecompositionConfig, decompose_graph,
+                             plan_ranks_energy, rank_by_energy)
+from repro.ir import GraphBuilder
+
+from _graph_fixtures import make_chain_graph
+
+
+class TestRankByEnergy:
+    def test_full_energy_is_full_rank(self):
+        rng = np.random.default_rng(0)
+        m = rng.normal(size=(8, 20))
+        assert rank_by_energy(m, 1.0) == 8
+
+    def test_low_rank_matrix_detected(self):
+        rng = np.random.default_rng(1)
+        # exactly rank-3 matrix: 3 components capture 100% of the energy
+        m = rng.normal(size=(16, 3)) @ rng.normal(size=(3, 24))
+        assert rank_by_energy(m, 0.999) == 3
+
+    def test_monotone_in_energy(self):
+        rng = np.random.default_rng(2)
+        m = rng.normal(size=(12, 30))
+        ranks = [rank_by_energy(m, e) for e in (0.3, 0.6, 0.9, 0.99)]
+        assert ranks == sorted(ranks)
+
+    def test_zero_matrix(self):
+        assert rank_by_energy(np.zeros((4, 4)), 0.9) == 1
+
+    def test_bad_energy_rejected(self):
+        with pytest.raises(ValueError, match="energy"):
+            rank_by_energy(np.eye(2), 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), energy=st.floats(0.1, 1.0))
+    def test_property_rank_bounds(self, seed, energy):
+        rng = np.random.default_rng(seed)
+        m = rng.normal(size=(6, 15))
+        r = rank_by_energy(m, energy)
+        assert 1 <= r <= 6
+
+
+class TestPlanRanksEnergy:
+    def test_structured_kernel_compresses_harder(self):
+        rng = np.random.default_rng(3)
+        # kernel whose output channels live in a rank-4 subspace
+        basis = rng.normal(size=(32, 4))
+        coeffs = rng.normal(size=(4, 16 * 9))
+        low = (basis @ coeffs).reshape(32, 16, 3, 3)
+        full = rng.normal(size=(32, 16, 3, 3))
+        plan_low = plan_ranks_energy(low, 0.999)
+        plan_full = plan_ranks_energy(full, 0.999)
+        assert plan_low.rank_out == 4
+        assert plan_full.rank_out > plan_low.rank_out
+
+    def test_non_4d_rejected(self):
+        with pytest.raises(ValueError, match="4D"):
+            plan_ranks_energy(np.zeros((3, 3)), 0.9)
+
+
+class TestEnergyPolicyEndToEnd:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="rank_policy"):
+            DecompositionConfig(rank_policy="vbmf")
+        with pytest.raises(ValueError, match="energy"):
+            DecompositionConfig(rank_policy="energy", energy=1.5)
+
+    def test_energy_policy_produces_valid_graph(self):
+        g = make_chain_graph()
+        dg = decompose_graph(g, DecompositionConfig(rank_policy="energy",
+                                                    energy=0.8))
+        dg.validate()
+        assert any(n.attrs.get("role") == "lconv" for n in dg.nodes)
+
+    def test_higher_energy_means_more_params(self):
+        g = make_chain_graph()
+        lo = decompose_graph(g, DecompositionConfig(rank_policy="energy",
+                                                    energy=0.5))
+        hi = decompose_graph(g, DecompositionConfig(rank_policy="energy",
+                                                    energy=0.99))
+        assert hi.num_params() > lo.num_params()
+
+    def test_energy_policy_better_fit_than_matched_ratio(self):
+        """At a matched parameter budget, per-layer adaptive ranks should
+        fit at least as well overall as the uniform ratio."""
+        from repro.decompose import decomposition_records
+        g = make_chain_graph(seed=9)
+        dg = decompose_graph(g, DecompositionConfig(rank_policy="energy",
+                                                    energy=0.9))
+        records = decomposition_records(dg)
+        assert all(r.fit_error < 0.5 for r in records)

@@ -1,0 +1,121 @@
+"""Multilinear algebra primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decompose import (fold, khatri_rao, mode_dot, multi_mode_dot,
+                             relative_error, truncated_svd, unfold)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestUnfoldFold:
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_fold_inverts_unfold(self, rng, mode):
+        t = rng.normal(size=(3, 4, 5, 2))
+        np.testing.assert_array_equal(fold(unfold(t, mode), mode, t.shape), t)
+
+    def test_unfold_shape(self, rng):
+        t = rng.normal(size=(3, 4, 5))
+        assert unfold(t, 1).shape == (4, 15)
+
+    def test_unfold_rows_are_mode_fibers(self, rng):
+        t = rng.normal(size=(2, 3, 4))
+        m = unfold(t, 1)
+        # row j of the unfolding collects every element with index j in mode 1
+        for j in range(3):
+            np.testing.assert_array_equal(np.sort(m[j]),
+                                          np.sort(t[:, j, :].ravel()))
+
+
+class TestModeDot:
+    def test_matches_einsum(self, rng):
+        t = rng.normal(size=(3, 4, 5))
+        m = rng.normal(size=(7, 4))
+        np.testing.assert_allclose(mode_dot(t, m, 1),
+                                   np.einsum("iak,ja->ijk", t, m), atol=1e-12)
+
+    def test_dim_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="mode-0"):
+            mode_dot(rng.normal(size=(3, 4)), rng.normal(size=(2, 5)), 0)
+
+    def test_multi_mode_dot_composes(self, rng):
+        t = rng.normal(size=(3, 4, 5))
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(6, 5))
+        got = multi_mode_dot(t, [a, b], [0, 2])
+        want = mode_dot(mode_dot(t, a, 0), b, 2)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+
+class TestTruncatedSVD:
+    def test_full_rank_reconstructs(self, rng):
+        m = rng.normal(size=(6, 9))
+        u, s, vt = truncated_svd(m, 6)
+        np.testing.assert_allclose(u @ np.diag(s) @ vt, m, atol=1e-10)
+
+    def test_rank_clamped(self, rng):
+        m = rng.normal(size=(4, 3))
+        u, s, vt = truncated_svd(m, 100)
+        assert u.shape == (4, 3) and s.shape == (3,)
+
+    def test_truncation_is_best_approximation(self, rng):
+        # Eckart–Young: rank-k SVD error equals the tail singular values
+        m = rng.normal(size=(8, 8))
+        _, s_full, _ = truncated_svd(m, 8)
+        u, s, vt = truncated_svd(m, 3)
+        err = np.linalg.norm(m - u @ np.diag(s) @ vt)
+        np.testing.assert_allclose(err, np.linalg.norm(s_full[3:]), atol=1e-8)
+
+    def test_bad_rank_rejected(self, rng):
+        with pytest.raises(ValueError, match="rank"):
+            truncated_svd(rng.normal(size=(3, 3)), 0)
+
+
+class TestKhatriRao:
+    def test_columnwise_kronecker(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(2, 4))
+        kr = khatri_rao(a, b)
+        assert kr.shape == (6, 4)
+        for r in range(4):
+            np.testing.assert_allclose(kr[:, r], np.kron(a[:, r], b[:, r]))
+
+    def test_rank_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="rank mismatch"):
+            khatri_rao(rng.normal(size=(3, 4)), rng.normal(size=(2, 5)))
+
+
+class TestRelativeError:
+    def test_zero_for_identical(self, rng):
+        t = rng.normal(size=(3, 3))
+        assert relative_error(t, t) == 0.0
+
+    def test_scale_invariant(self, rng):
+        t = rng.normal(size=(4, 4))
+        p = t + rng.normal(size=(4, 4)) * 0.1
+        assert relative_error(t, p) == pytest.approx(
+            relative_error(10 * t, 10 * p))
+
+    def test_zero_original(self):
+        z = np.zeros((2, 2))
+        assert relative_error(z, z) == 0.0
+        assert relative_error(z, np.ones((2, 2))) == 2.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 9999), mode=st.integers(0, 2))
+def test_property_mode_dot_linearity(seed, mode):
+    rng = np.random.default_rng(seed)
+    t = rng.normal(size=(3, 4, 5))
+    dims = t.shape[mode]
+    a = rng.normal(size=(2, dims))
+    b = rng.normal(size=(2, dims))
+    np.testing.assert_allclose(mode_dot(t, a + b, mode),
+                               mode_dot(t, a, mode) + mode_dot(t, b, mode),
+                               atol=1e-10)

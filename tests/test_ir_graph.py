@@ -1,0 +1,156 @@
+"""Unit tests for Graph construction, queries, rewriting and validation."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Graph, GraphBuilder, Node, Value, format_graph, summarize_graph
+from repro.ir.emit import make_node
+
+from _graph_fixtures import make_chain_graph, make_skip_graph
+
+
+class TestGraphBuilder:
+    def test_builds_valid_graph(self):
+        g = make_chain_graph()
+        g.validate()
+        assert len(g.inputs) == 1
+        assert len(g.outputs) == 1
+
+    def test_deterministic_weights(self):
+        g1 = make_chain_graph(seed=5)
+        g2 = make_chain_graph(seed=5)
+        w1 = g1.find_node("c1").params["weight"]
+        w2 = g2.find_node("c1").params["weight"]
+        np.testing.assert_array_equal(w1, w2)
+
+    def test_different_seeds_differ(self):
+        g1 = make_chain_graph(seed=1)
+        g2 = make_chain_graph(seed=2)
+        assert not np.array_equal(g1.find_node("c1").params["weight"],
+                                  g2.find_node("c1").params["weight"])
+
+    def test_explicit_weight_used_verbatim(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 2, 4, 4))
+        w = np.ones((3, 2, 1, 1), np.float32)
+        b.conv2d(x, 3, 1, weight=w, name="c")
+        assert np.array_equal(b.graph.find_node("c").params["weight"], w)
+
+
+class TestGraphQueries:
+    def test_producer_and_consumers(self):
+        g = make_chain_graph()
+        c1 = g.find_node("c1")
+        relu = g.consumers_of(c1.output)
+        assert len(relu) == 1 and relu[0].op == "relu"
+        assert g.producer_of(c1.output) is c1
+        assert g.producer_of(g.inputs[0]) is None
+
+    def test_predecessors_successors(self):
+        g = make_skip_graph()
+        join = g.find_node("join")
+        preds = g.predecessors(join)
+        assert len(preds) == 2
+        succs = g.successors(join)
+        assert len(succs) == 1 and succs[0].op == "conv2d"
+
+    def test_weight_bytes_matches_params(self):
+        g = make_chain_graph()
+        expected = sum(p.nbytes for n in g.nodes for p in n.params.values())
+        assert g.weight_bytes() == expected
+
+    def test_find_value_missing_raises(self):
+        g = make_chain_graph()
+        with pytest.raises(KeyError):
+            g.find_value("nope")
+
+
+class TestGraphRewriting:
+    def test_replace_uses(self):
+        g = make_skip_graph()
+        join = g.find_node("join")
+        old = join.inputs[0]
+        new = make_node(g, "identity", [old], name="alias")
+        g.insert_before(join, [new])
+        count = g.replace_uses(old, new.output, where=lambda n: n is join)
+        assert count == 1
+        assert join.inputs[0] is new.output
+        g.validate()
+
+    def test_dead_code_elimination(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 4, 4))
+        live = b.relu(x)
+        b.conv2d(x, 8, 1, name="dead1")  # unused
+        g = b.finish(live)
+        removed = g.dead_code_eliminate()
+        assert removed == 1
+        assert all(n.name != "dead1" for n in g.nodes)
+        g.validate()
+
+    def test_dce_removes_chains(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 4, 4))
+        live = b.relu(x)
+        dead = b.conv2d(x, 8, 1, name="dead1")
+        b.relu(dead, name="dead2")
+        g = b.finish(live)
+        assert g.dead_code_eliminate() == 2
+
+    def test_clone_is_independent(self):
+        g = make_chain_graph()
+        clone = g.clone("copy")
+        clone.remove_node(clone.nodes[-1])
+        assert len(clone.nodes) == len(g.nodes) - 1
+        # weights are shared (no copy)
+        assert clone.find_node("c1").params["weight"] is g.find_node("c1").params["weight"]
+
+    def test_clone_preserves_outputs(self, rng):
+        from repro.runtime import execute
+        g = make_skip_graph()
+        clone = g.clone()
+        inp = {"x": rng.normal(size=g.inputs[0].shape).astype(np.float32)}
+        np.testing.assert_array_equal(
+            execute(g, inp).output(), execute(clone, inp).output())
+
+
+class TestValidation:
+    def test_use_before_def_rejected(self):
+        g = make_chain_graph()
+        # move the last node to the front: breaks the schedule
+        node = g.nodes.pop()
+        g.nodes.insert(0, node)
+        with pytest.raises(ValueError, match="before its definition"):
+            g.validate()
+
+    def test_duplicate_node_name_rejected(self):
+        g = make_chain_graph()
+        g.nodes[1].name = g.nodes[0].name
+        with pytest.raises(ValueError, match="duplicate node name"):
+            g.validate()
+
+    def test_undefined_output_rejected(self):
+        g = make_chain_graph()
+        g.outputs = [Value("ghost", (1,))]
+        with pytest.raises(ValueError, match="undefined"):
+            g.validate()
+
+    def test_wrong_output_shape_rejected(self):
+        g = make_chain_graph()
+        g.nodes[0].output.shape = (9, 9)
+        with pytest.raises(ValueError, match="shape"):
+            g.validate()
+
+
+class TestPrinter:
+    def test_format_graph_mentions_every_node(self):
+        g = make_skip_graph()
+        text = format_graph(g)
+        for node in g.nodes:
+            assert node.output.name in text
+        assert "return" in text
+
+    def test_summarize_counts_params(self):
+        g = make_chain_graph()
+        s = summarize_graph(g)
+        assert "conv2d" in s and "params" in s

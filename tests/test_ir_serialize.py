@@ -1,0 +1,55 @@
+"""Graph serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import optimize
+from repro.decompose import DecompositionConfig, decompose_graph
+from repro.ir import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.runtime import execute
+
+from _graph_fixtures import make_chain_graph, make_skip_graph, random_input
+
+
+class TestDictRoundTrip:
+    def test_structure_preserved(self):
+        g = make_skip_graph()
+        structure, weights = graph_to_dict(g)
+        rebuilt = graph_from_dict(structure, weights)
+        assert [n.name for n in rebuilt.nodes] == [n.name for n in g.nodes]
+        assert [n.op for n in rebuilt.nodes] == [n.op for n in g.nodes]
+        assert [v.name for v in rebuilt.outputs] == [v.name for v in g.outputs]
+
+    def test_outputs_preserved_numerically(self):
+        g = make_skip_graph()
+        structure, weights = graph_to_dict(g)
+        rebuilt = graph_from_dict(structure, weights)
+        inp = random_input(g)
+        np.testing.assert_array_equal(execute(g, inp).output(),
+                                      execute(rebuilt, inp).output())
+
+    def test_structure_is_json_safe(self):
+        import json
+        g = make_chain_graph()
+        structure, _ = graph_to_dict(g)
+        json.dumps(structure)  # must not raise
+
+    def test_optimized_graph_round_trips(self):
+        g = decompose_graph(make_skip_graph(), DecompositionConfig(ratio=0.25))
+        opt, _ = optimize(g)
+        structure, weights = graph_to_dict(opt)
+        rebuilt = graph_from_dict(structure, weights)
+        inp = random_input(opt)
+        np.testing.assert_array_equal(execute(opt, inp).output(),
+                                      execute(rebuilt, inp).output())
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, tmp_path):
+        g = make_chain_graph()
+        path = tmp_path / "model.npz"
+        save_graph(g, path)
+        rebuilt = load_graph(path)
+        inp = random_input(g)
+        np.testing.assert_array_equal(execute(g, inp).output(),
+                                      execute(rebuilt, inp).output())

@@ -1,0 +1,80 @@
+"""Unit tests for IR values, dtypes and naming."""
+
+import numpy as np
+import pytest
+
+from repro.ir import DType, Value, ValueNamer
+
+
+class TestDType:
+    def test_numpy_round_trip(self):
+        for dt in (DType.float32, DType.float64, DType.int32, DType.int64):
+            assert DType.from_numpy(dt.np) is dt
+
+    def test_bool_maps_to_bool_(self):
+        assert DType.from_numpy(np.bool_) is DType.bool_
+
+    def test_itemsize(self):
+        assert DType.float32.itemsize == 4
+        assert DType.float64.itemsize == 8
+        assert DType.int64.itemsize == 8
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(TypeError):
+            DType.from_numpy(np.complex128)
+
+
+class TestValue:
+    def test_nbytes(self):
+        v = Value("x", (2, 3, 4, 5), DType.float32)
+        assert v.num_elements == 120
+        assert v.nbytes == 480
+
+    def test_scalar_shape(self):
+        v = Value("s", ())
+        assert v.num_elements == 1
+        assert v.nbytes == 4
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            Value("bad", (2, -1))
+
+    def test_shape_normalized_to_ints(self):
+        v = Value("x", (np.int64(2), np.int64(3)))
+        assert v.shape == (2, 3)
+        assert all(isinstance(d, int) for d in v.shape)
+
+    def test_identity_hash(self):
+        a = Value("x", (1,))
+        b = Value("x", (1,))
+        assert hash(a) != hash(b) or a is not b
+        assert len({a, b}) == 2
+
+    def test_with_shape(self):
+        v = Value("x", (2, 3), DType.float64)
+        w = v.with_shape((4, 5), name="y")
+        assert w.name == "y" and w.shape == (4, 5) and w.dtype == DType.float64
+
+    def test_repr_contains_shape(self):
+        assert "2x3" in repr(Value("x", (2, 3)))
+
+
+class TestValueNamer:
+    def test_fresh_returns_base_when_free(self):
+        namer = ValueNamer()
+        assert namer.fresh("a") == "a"
+
+    def test_fresh_suffixes_on_collision(self):
+        namer = ValueNamer()
+        assert namer.fresh("a") == "a"
+        assert namer.fresh("a") == "a.copy1"
+        assert namer.fresh("a") == "a.copy2"
+
+    def test_reserved_names_are_avoided(self):
+        namer = ValueNamer(iter(["a", "a.copy1"]))
+        assert namer.fresh("a") == "a.copy2"
+
+    def test_independent_bases(self):
+        namer = ValueNamer()
+        namer.fresh("a")
+        assert namer.fresh("b") == "b"

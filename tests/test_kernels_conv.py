@@ -1,0 +1,148 @@
+"""Convolution kernels vs a naive loop reference, incl. property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import conv2d, conv_transpose2d, pointwise_conv
+
+
+def naive_conv2d(x, w, b=None, stride=(1, 1), padding=(0, 0), groups=1):
+    """O(everything) reference convolution."""
+    n, c, h, wd = x.shape
+    cout, cin_g, kh, kw = w.shape
+    sh, sw = stride
+    ph, pw = padding
+    xp = np.zeros((n, c, h + 2 * ph, wd + 2 * pw), dtype=np.float64)
+    xp[:, :, ph:ph + h, pw:pw + wd] = x
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (wd + 2 * pw - kw) // sw + 1
+    out = np.zeros((n, cout, oh, ow), dtype=np.float64)
+    cpg_in = c // groups
+    cpg_out = cout // groups
+    for ni in range(n):
+        for oc in range(cout):
+            g = oc // cpg_out
+            for ic in range(cin_g):
+                src = g * cpg_in + ic
+                for oy in range(oh):
+                    for ox in range(ow):
+                        patch = xp[ni, src, oy * sh:oy * sh + kh,
+                                   ox * sw:ox * sw + kw]
+                        out[ni, oc, oy, ox] += (patch * w[oc, ic]).sum()
+    if b is not None:
+        out += b[None, :, None, None]
+    return out
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestConv2dAgainstReference:
+    @pytest.mark.parametrize("stride,padding", [
+        ((1, 1), (0, 0)), ((1, 1), (1, 1)), ((2, 2), (1, 1)),
+        ((2, 1), (0, 2)), ((3, 3), (2, 2)),
+    ])
+    def test_dense(self, rng, stride, padding):
+        x = rng.normal(size=(2, 5, 9, 8))
+        w = rng.normal(size=(7, 5, 3, 3))
+        b = rng.normal(size=7)
+        got = conv2d(x, w, b, stride=stride, padding=padding)
+        want = naive_conv2d(x, w, b, stride=stride, padding=padding)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_pointwise_fast_path(self, rng):
+        x = rng.normal(size=(3, 6, 5, 5))
+        w = rng.normal(size=(4, 6, 1, 1))
+        got = conv2d(x, w, None)
+        want = naive_conv2d(x, w, None)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_depthwise(self, rng):
+        x = rng.normal(size=(2, 6, 8, 8))
+        w = rng.normal(size=(6, 1, 3, 3))
+        got = conv2d(x, w, None, padding=(1, 1), groups=6)
+        want = naive_conv2d(x, w, None, padding=(1, 1), groups=6)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_grouped(self, rng):
+        x = rng.normal(size=(2, 8, 6, 6))
+        w = rng.normal(size=(4, 4, 3, 3))  # 2 groups
+        got = conv2d(x, w, None, padding=(1, 1), groups=2)
+        want = naive_conv2d(x, w, None, padding=(1, 1), groups=2)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_asymmetric_kernel(self, rng):
+        x = rng.normal(size=(1, 3, 8, 8))
+        w = rng.normal(size=(2, 3, 3, 1))
+        got = conv2d(x, w, None, stride=(2, 1), padding=(1, 0))
+        want = naive_conv2d(x, w, None, stride=(2, 1), padding=(1, 0))
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 3), c=st.integers(1, 6), cout=st.integers(1, 6),
+           hw=st.integers(3, 9), k=st.integers(1, 3), s=st.integers(1, 2),
+           p=st.integers(0, 2), seed=st.integers(0, 10_000))
+    def test_property_matches_reference(self, n, c, cout, hw, k, s, p, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, c, hw, hw))
+        w = rng.normal(size=(cout, c, k, k))
+        got = conv2d(x, w, None, stride=(s, s), padding=(p, p))
+        want = naive_conv2d(x, w, None, stride=(s, s), padding=(p, p))
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+
+class TestPointwiseConv:
+    def test_equals_matmul_per_pixel(self, rng):
+        x = rng.normal(size=(2, 5, 4, 4))
+        w2d = rng.normal(size=(3, 5))
+        got = pointwise_conv(x, w2d)
+        want = np.einsum("oc,nchw->nohw", w2d, x)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_bias(self, rng):
+        x = rng.normal(size=(1, 2, 2, 2))
+        w2d = rng.normal(size=(2, 2))
+        b = np.array([10.0, -10.0])
+        got = pointwise_conv(x, w2d, b)
+        np.testing.assert_allclose(got - pointwise_conv(x, w2d),
+                                   b[None, :, None, None] * np.ones_like(got))
+
+
+class TestConvTranspose:
+    def test_inverts_spatial_downsampling_shape(self, rng):
+        x = rng.normal(size=(2, 6, 5, 5))
+        w = rng.normal(size=(6, 4, 2, 2))
+        out = conv_transpose2d(x, w, stride=(2, 2))
+        assert out.shape == (2, 4, 10, 10)
+
+    def test_stride1_equals_full_correlation(self, rng):
+        # stride-1 transpose conv == conv with flipped kernel, full padding
+        x = rng.normal(size=(1, 3, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        got = conv_transpose2d(x, w)
+        flipped = w[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+        want = naive_conv2d(x, flipped, padding=(2, 2))
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_adjointness(self, rng):
+        # <conv(x), y> == <x, conv_transpose(y)> — the defining property.
+        # Stride-1 same-padding keeps the shapes aligned exactly.
+        x = rng.normal(size=(1, 3, 8, 8))
+        y = rng.normal(size=(1, 5, 8, 8))
+        w = rng.normal(size=(5, 3, 3, 3))
+        fwd = conv2d(x, w, None, stride=(1, 1), padding=(1, 1))
+        # conv_transpose weight layout: (Cin of adjoint input = 5, Cout = 3)
+        back = conv_transpose2d(y, w, None, stride=(1, 1), padding=(1, 1))
+        lhs = float((fwd * y).sum())
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = rng.normal(size=(1, 3, 4, 4))
+        w = rng.normal(size=(5, 2, 2, 2))
+        with pytest.raises(ValueError, match="in-channels"):
+            conv_transpose2d(x, w)

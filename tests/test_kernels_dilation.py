@@ -1,0 +1,93 @@
+"""Dilated convolutions: kernel, IR integration, training guard."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import GraphBuilder
+from repro.kernels import conv2d
+from repro.runtime import execute
+from repro.train import UntrainableOpError, backward, forward_with_tape
+
+from _graph_fixtures import random_input
+
+
+def naive_dilated(x, w, stride, padding, dilation):
+    n, c, h, wd = x.shape
+    cout, _, kh, kw = w.shape
+    sh, sw = stride
+    ph, pw = padding
+    dh, dw = dilation
+    xp = np.zeros((n, c, h + 2 * ph, wd + 2 * pw))
+    xp[:, :, ph:ph + h, pw:pw + wd] = x
+    oh = (h + 2 * ph - dh * (kh - 1) - 1) // sh + 1
+    ow = (wd + 2 * pw - dw * (kw - 1) - 1) // sw + 1
+    out = np.zeros((n, cout, oh, ow))
+    for ni in range(n):
+        for o in range(cout):
+            for ci in range(c):
+                for i in range(oh):
+                    for j in range(ow):
+                        for ki in range(kh):
+                            for kj in range(kw):
+                                out[ni, o, i, j] += (
+                                    xp[ni, ci, i * sh + dh * ki, j * sw + dw * kj]
+                                    * w[o, ci, ki, kj])
+    return out
+
+
+class TestDilatedConv:
+    @pytest.mark.parametrize("dilation,stride,padding", [
+        ((2, 2), (1, 1), (2, 2)),
+        ((2, 2), (2, 2), (0, 0)),
+        ((3, 1), (1, 1), (3, 0)),
+    ])
+    def test_matches_naive(self, dilation, stride, padding):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 3, 10, 10))
+        w = rng.normal(size=(4, 3, 3, 3))
+        got = conv2d(x, w, None, stride=stride, padding=padding,
+                     dilation=dilation)
+        want = naive_dilated(x, w, stride, padding, dilation)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_dilation_one_unchanged(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(2, 2, 3, 3))
+        np.testing.assert_array_equal(
+            conv2d(x, w, None, padding=(1, 1)),
+            conv2d(x, w, None, padding=(1, 1), dilation=(1, 1)))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), d=st.integers(1, 3))
+    def test_property_matches_naive(self, seed, d):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 2, 9, 9))
+        w = rng.normal(size=(2, 2, 3, 3))
+        got = conv2d(x, w, None, padding=(d, d), dilation=(d, d))
+        want = naive_dilated(x, w, (1, 1), (d, d), (d, d))
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+
+class TestDilatedInIR:
+    def test_graph_shape_and_execution_agree(self):
+        b = GraphBuilder("dil", seed=0)
+        x = b.input("x", (1, 4, 12, 12))
+        h = b.conv2d(x, 8, 3, padding=2, dilation=2, name="dconv")
+        g = b.finish(b.relu(h))
+        assert g.find_node("dconv").output.shape == (1, 8, 12, 12)
+        out = execute(g, random_input(g)).output()
+        assert out.shape == (1, 8, 12, 12)
+        assert np.isfinite(out).all()
+
+    def test_training_dilated_conv_raises(self):
+        b = GraphBuilder("dil", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        h = b.conv2d(x, 8, 3, padding=2, dilation=2, name="dconv")
+        g = b.finish(h)
+        tape = forward_with_tape(g, random_input(g))
+        out = g.outputs[0].name
+        with pytest.raises(UntrainableOpError, match="dilated"):
+            backward(tape, {out: np.ones_like(tape.env[out])})

@@ -1,0 +1,98 @@
+"""Extended activation set: kernels, gradients, fusion integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import FusionConfig, assert_equivalent, fuse_activation_layers
+from repro.ir import GraphBuilder
+from repro.kernels import elu, gelu, get_activation, hardswish, leaky_relu
+from repro.train import forward_with_tape, grad_check
+
+from _graph_fixtures import random_input
+
+EXTENDED = ("leaky_relu", "elu", "hardswish", "gelu")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestKernels:
+    def test_leaky_relu(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_allclose(leaky_relu(x), [-0.02, 0.0, 3.0])
+        np.testing.assert_allclose(leaky_relu(x, 0.5), [-1.0, 0.0, 3.0])
+
+    def test_elu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(elu(x), [np.expm1(-1.0), 0.0, 2.0])
+
+    def test_elu_alpha_scales_negative_branch(self):
+        x = np.array([-1.0])
+        np.testing.assert_allclose(elu(x, alpha=2.0), 2 * np.expm1(-1.0))
+
+    def test_hardswish_boundaries(self):
+        x = np.array([-4.0, -3.0, 0.0, 3.0, 4.0])
+        np.testing.assert_allclose(hardswish(x), [0.0, 0.0, 0.0, 3.0, 4.0])
+
+    def test_gelu_matches_definition(self, rng):
+        x = rng.normal(size=100)
+        c = np.sqrt(2.0 / np.pi)
+        want = 0.5 * x * (1 + np.tanh(c * (x + 0.044715 * x ** 3)))
+        np.testing.assert_allclose(gelu(x), want)
+
+    @pytest.mark.parametrize("name", EXTENDED)
+    def test_registered(self, name, rng):
+        fn = get_activation(name)
+        x = rng.normal(size=(2, 3))
+        assert fn(x).shape == (2, 3)
+
+    @pytest.mark.parametrize("name", EXTENDED)
+    def test_elementwise_tiling_safe(self, name, rng):
+        # the property activation layer fusion depends on
+        fn = get_activation(name)
+        x = rng.normal(size=(2, 6, 4, 4))
+        whole = fn(x)
+        parts = np.concatenate([fn(x[:, i:i + 2]) for i in range(0, 6, 2)],
+                               axis=1)
+        np.testing.assert_allclose(whole, parts, atol=1e-12)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("name", EXTENDED)
+    def test_gradient_matches_fd(self, name):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (2, 3, 5, 5))
+        h = b.conv2d(x, 4, 3, padding=1, name="c")
+        h = getattr(b, name)(h)
+        g = b.finish(h)
+        for v in g.values():
+            v.dtype = type(v.dtype)("float64")
+        for node in g.nodes:
+            node.params = {k: p.astype(np.float64) for k, p in node.params.items()}
+        rng = np.random.default_rng(0)
+        inputs = {"x": rng.normal(size=(2, 3, 5, 5))}
+        weight = g.find_node("c").params["weight"]
+        indices = [np.unravel_index(i, weight.shape)
+                   for i in rng.choice(weight.size, size=5, replace=False)]
+        analytic, numeric = grad_check(g, inputs, node_name="c",
+                                       param="weight", indices=indices,
+                                       eps=1e-5)
+        np.testing.assert_allclose(analytic, numeric, atol=2e-3, rtol=1e-3)
+
+
+class TestFusionIntegration:
+    @pytest.mark.parametrize("name", EXTENDED)
+    def test_fused_block_with_extended_activation(self, name):
+        b = GraphBuilder("t", seed=3)
+        x = b.input("x", (1, 4, 8, 8))
+        up = b.conv2d(x, 24, 1, name="up")
+        act = getattr(b, name)(up)
+        down = b.conv2d(act, 3, 1, name="down")
+        g = b.finish(down)
+        before = g.clone("before")
+        stats = fuse_activation_layers(g, FusionConfig(block_size=7))
+        assert stats.fused == 1
+        assert g.nodes[-1].attrs["act"] == name
+        assert_equivalent(before, g, random_input(g), rtol=1e-4)

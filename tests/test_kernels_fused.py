@@ -1,0 +1,134 @@
+"""The fused kernels vs running the layers separately (Listing 1 claim)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (avgpool2d, fused_block, fused_restore,
+                           fused_scratch_bytes, get_activation, maxpool2d,
+                           pointwise_conv, upsample_nearest)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+def reference_chain(x, w1, b1, w2, b2, act=None, pool=None, upsample=0):
+    """lconv → act → resample → fconv, each as a separate full kernel."""
+    full = pointwise_conv(x, w1, b1)
+    if act is not None:
+        full = get_activation(act)(full)
+    if pool is not None:
+        fn = maxpool2d if pool["kind"] == "max" else avgpool2d
+        full = fn(full, pool["kernel"], pool.get("stride", pool["kernel"]),
+                  pool.get("padding", 0))
+    elif upsample:
+        full = upsample_nearest(full, upsample)
+    if w2 is None:
+        return full
+    return pointwise_conv(full, w2, b2)
+
+
+class TestFusedBlock:
+    @pytest.mark.parametrize("act", [None, "relu", "silu", "sigmoid", "tanh"])
+    def test_matches_reference(self, rng, act):
+        x = rng.normal(size=(2, 4, 6, 6))
+        w1, b1 = rng.normal(size=(24, 4)), rng.normal(size=24)
+        w2, b2 = rng.normal(size=(5, 24)), rng.normal(size=5)
+        got = fused_block(x, w1, b1, w2, b2, act=act, block_size=7)
+        want = reference_chain(x, w1, b1, w2, b2, act=act)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    @pytest.mark.parametrize("kind", ["max", "avg"])
+    def test_with_pool(self, rng, kind):
+        x = rng.normal(size=(2, 4, 8, 8))
+        w1, b1 = rng.normal(size=(16, 4)), rng.normal(size=16)
+        w2, b2 = rng.normal(size=(3, 16)), rng.normal(size=3)
+        pool = {"kind": kind, "kernel": (2, 2), "stride": (2, 2), "padding": (0, 0)}
+        got = fused_block(x, w1, b1, w2, b2, act="relu", pool=pool, block_size=5)
+        want = reference_chain(x, w1, b1, w2, b2, act="relu", pool=pool)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_with_upsample(self, rng):
+        x = rng.normal(size=(1, 3, 4, 4))
+        w1 = rng.normal(size=(12, 3))
+        w2 = rng.normal(size=(2, 12))
+        got = fused_block(x, w1, None, w2, None, act="relu", upsample=2,
+                          block_size=4)
+        want = reference_chain(x, w1, None, w2, None, act="relu", upsample=2)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_block_size_invariance(self, rng):
+        x = rng.normal(size=(1, 5, 6, 6))
+        w1, b1 = rng.normal(size=(17, 5)), rng.normal(size=17)
+        w2, b2 = rng.normal(size=(4, 17)), rng.normal(size=4)
+        reference = fused_block(x, w1, b1, w2, b2, act="relu", block_size=17)
+        for block in (1, 2, 3, 5, 16, 100):
+            got = fused_block(x, w1, b1, w2, b2, act="relu", block_size=block)
+            np.testing.assert_allclose(got, reference, atol=1e-10)
+
+    def test_pool_and_upsample_rejected(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        with pytest.raises(ValueError, match="cannot both"):
+            fused_block(x, rng.normal(size=(4, 2)), None,
+                        rng.normal(size=(2, 4)), None,
+                        pool={"kind": "max", "kernel": (2, 2)}, upsample=2)
+
+    def test_weight_shape_mismatch_rejected(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        with pytest.raises(ValueError, match="w1 in-channels"):
+            fused_block(x, rng.normal(size=(4, 3)), None,
+                        rng.normal(size=(2, 4)), None)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), block=st.integers(1, 40),
+           cprime=st.integers(1, 33))
+    def test_property_blocked_equals_dense(self, seed, block, cprime):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 3, 4, 4))
+        w1 = rng.normal(size=(cprime, 3))
+        w2 = rng.normal(size=(2, cprime))
+        got = fused_block(x, w1, None, w2, None, act="relu", block_size=block)
+        want = reference_chain(x, w1, None, w2, None, act="relu")
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+
+class TestFusedRestore:
+    @pytest.mark.parametrize("act", ["relu", "silu"])
+    def test_matches_reference(self, rng, act):
+        x = rng.normal(size=(2, 3, 6, 6))
+        w1, b1 = rng.normal(size=(20, 3)), rng.normal(size=20)
+        got = fused_restore(x, w1, b1, act=act, block_size=6)
+        want = reference_chain(x, w1, b1, None, None, act=act)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_with_maxpool(self, rng):
+        x = rng.normal(size=(1, 4, 8, 8))
+        w1 = rng.normal(size=(10, 4))
+        pool = {"kind": "max", "kernel": (3, 3), "stride": (2, 2), "padding": (1, 1)}
+        got = fused_restore(x, w1, None, act="relu", pool=pool, block_size=3)
+        want = reference_chain(x, w1, None, None, None, act="relu", pool=pool)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_with_upsample(self, rng):
+        x = rng.normal(size=(1, 2, 3, 3))
+        w1 = rng.normal(size=(5, 2))
+        got = fused_restore(x, w1, None, act="tanh", upsample=3, block_size=2)
+        want = reference_chain(x, w1, None, None, None, act="tanh", upsample=3)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+
+class TestScratchAccounting:
+    def test_scratch_scales_with_block(self):
+        shape = (4, 8, 10, 10)
+        small = fused_scratch_bytes(shape, 4, block_size=4)
+        large = fused_scratch_bytes(shape, 4, block_size=16)
+        assert large == 4 * small
+        assert small == 4 * 4 * 10 * 10 * 4
+
+    def test_scratch_clamped_by_cprime(self):
+        shape = (1, 8, 10, 10)
+        assert fused_scratch_bytes(shape, 4, block_size=64, c_prime=5) == \
+            fused_scratch_bytes(shape, 4, block_size=5)

@@ -1,0 +1,134 @@
+"""Pooling, activation, linear and batchnorm kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (avgpool2d, batchnorm2d, get_activation,
+                           global_avgpool, linear, maxpool2d, relu, sigmoid,
+                           silu, softmax, tanh, upsample_nearest)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestPooling:
+    def test_maxpool_basic(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = maxpool2d(x, (2, 2))
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_padding_uses_neg_inf(self):
+        x = -np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = maxpool2d(x, (2, 2), stride=(2, 2), padding=(1, 1))
+        # padded corners must pick the real -1 values, not 0
+        assert (out == -1).all()
+
+    def test_avgpool_includes_padding(self):
+        x = np.full((1, 1, 2, 2), 4.0, dtype=np.float32)
+        out = avgpool2d(x, (2, 2), stride=(2, 2), padding=(1, 1))
+        # each window has one real cell (4.0) and three zero pad cells
+        assert out.shape == (1, 1, 2, 2)
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_maxpool_overlapping_windows(self, rng):
+        x = rng.normal(size=(2, 3, 7, 7)).astype(np.float32)
+        out = maxpool2d(x, (3, 3), stride=(2, 2), padding=(1, 1))
+        assert out.shape == (2, 3, 4, 4)
+        # reference: explicit loop
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)),
+                    constant_values=np.finfo(np.float32).min)
+        for oy in range(4):
+            for ox in range(4):
+                ref = xp[:, :, 2 * oy:2 * oy + 3, 2 * ox:2 * ox + 3].max(axis=(2, 3))
+                np.testing.assert_array_equal(out[:, :, oy, ox], ref)
+
+    def test_global_avgpool(self, rng):
+        x = rng.normal(size=(2, 5, 3, 3))
+        out = global_avgpool(x)
+        assert out.shape == (2, 5, 1, 1)
+        np.testing.assert_allclose(out[:, :, 0, 0], x.mean(axis=(2, 3)))
+
+    def test_upsample_nearest(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]]).reshape(1, 1, 2, 2)
+        out = upsample_nearest(x, 2)
+        np.testing.assert_array_equal(
+            out[0, 0], [[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]])
+
+    def test_upsample_scale_one_is_identity(self, rng):
+        x = rng.normal(size=(1, 2, 3, 3))
+        assert upsample_nearest(x, 1) is x
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(relu(x), [0, 0, 3])
+
+    def test_sigmoid_range_and_symmetry(self, rng):
+        x = rng.normal(scale=10, size=1000)
+        s = sigmoid(x)
+        assert ((s > 0) & (s < 1)).all()
+        np.testing.assert_allclose(sigmoid(-x), 1 - s, atol=1e-12)
+
+    def test_sigmoid_extreme_values_stable(self):
+        x = np.array([-1000.0, 1000.0])
+        s = sigmoid(x)
+        assert np.isfinite(s).all()
+        np.testing.assert_allclose(s, [0.0, 1.0], atol=1e-12)
+
+    def test_silu_definition(self, rng):
+        x = rng.normal(size=100)
+        np.testing.assert_allclose(silu(x), x * sigmoid(x), atol=1e-12)
+
+    def test_tanh(self, rng):
+        x = rng.normal(size=50)
+        np.testing.assert_allclose(tanh(x), np.tanh(x))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.normal(scale=50, size=(4, 10))
+        s = softmax(x, axis=1)
+        np.testing.assert_allclose(s.sum(axis=1), 1.0, atol=1e-12)
+        assert np.isfinite(s).all()
+
+    def test_get_activation_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown activation"):
+            get_activation("mish")
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_activations_elementwise(self, seed):
+        # applying to a tensor == applying to each element (tiling safety,
+        # the property activation layer fusion relies on)
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, 4, 3, 3))
+        for name in ("relu", "silu", "sigmoid", "tanh"):
+            fn = get_activation(name)
+            whole = fn(x)
+            parts = np.concatenate([fn(x[:, i:i + 1]) for i in range(4)], axis=1)
+            np.testing.assert_allclose(whole, parts, atol=1e-12)
+
+
+class TestLinearBatchnorm:
+    def test_linear(self, rng):
+        x = rng.normal(size=(3, 5))
+        w = rng.normal(size=(2, 5))
+        b = rng.normal(size=2)
+        np.testing.assert_allclose(linear(x, w, b), x @ w.T + b)
+
+    def test_batchnorm_identity_stats(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = batchnorm2d(x, np.ones(3), np.zeros(3), np.zeros(3), np.ones(3),
+                          eps=0.0)
+        np.testing.assert_allclose(out, x)
+
+    def test_batchnorm_normalizes(self, rng):
+        x = rng.normal(loc=5.0, scale=2.0, size=(1, 1, 100, 100))
+        mean = np.array([5.0])
+        var = np.array([4.0])
+        out = batchnorm2d(x, np.ones(1), np.zeros(1), mean, var, eps=0.0)
+        assert abs(out.mean()) < 0.1
+        assert abs(out.std() - 1.0) < 0.1

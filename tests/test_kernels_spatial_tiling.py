@@ -1,0 +1,99 @@
+"""Spatial tiling of the fused kernels (Listing 1's 3D blocking)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import fused_block, fused_restore, fused_scratch_bytes
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+def _weights(rng, c_prime=20, r_in=5, r_out=3):
+    return (rng.normal(size=(c_prime, r_in)), rng.normal(size=c_prime),
+            rng.normal(size=(r_out, c_prime)), rng.normal(size=r_out))
+
+
+class TestSpatialTiling:
+    @pytest.mark.parametrize("tile", [2, 4, 8])
+    def test_matches_untiled(self, rng, tile):
+        x = rng.normal(size=(2, 5, 8, 8))
+        w1, b1, w2, b2 = _weights(rng)
+        dense = fused_block(x, w1, b1, w2, b2, act="relu")
+        tiled = fused_block(x, w1, b1, w2, b2, act="relu", spatial_tile=tile)
+        np.testing.assert_allclose(tiled, dense, atol=1e-10)
+
+    def test_with_nonoverlapping_pool(self, rng):
+        x = rng.normal(size=(1, 5, 8, 8))
+        w1, b1, w2, b2 = _weights(rng)
+        pool = {"kind": "max", "kernel": (2, 2), "stride": (2, 2),
+                "padding": (0, 0)}
+        dense = fused_block(x, w1, b1, w2, b2, act="relu", pool=pool)
+        tiled = fused_block(x, w1, b1, w2, b2, act="relu", pool=pool,
+                            spatial_tile=4)
+        np.testing.assert_allclose(tiled, dense, atol=1e-10)
+
+    def test_with_upsample(self, rng):
+        x = rng.normal(size=(1, 5, 8, 8))
+        w1, b1, w2, b2 = _weights(rng)
+        dense = fused_block(x, w1, b1, w2, b2, act="silu", upsample=2)
+        tiled = fused_block(x, w1, b1, w2, b2, act="silu", upsample=2,
+                            spatial_tile=4)
+        np.testing.assert_allclose(tiled, dense, atol=1e-10)
+
+    def test_overlapping_pool_falls_back(self, rng):
+        # overlapping/padded pooling cannot tile exactly; the kernel must
+        # fall back to the dense path and still be correct
+        x = rng.normal(size=(1, 5, 8, 8))
+        w1, b1, w2, b2 = _weights(rng)
+        pool = {"kind": "max", "kernel": (3, 3), "stride": (2, 2),
+                "padding": (1, 1)}
+        dense = fused_block(x, w1, b1, w2, b2, act="relu", pool=pool)
+        tiled = fused_block(x, w1, b1, w2, b2, act="relu", pool=pool,
+                            spatial_tile=4)
+        np.testing.assert_allclose(tiled, dense, atol=1e-10)
+
+    def test_non_dividing_tile_falls_back(self, rng):
+        x = rng.normal(size=(1, 5, 10, 10))
+        w1, b1, w2, b2 = _weights(rng)
+        dense = fused_block(x, w1, b1, w2, b2, act="relu")
+        tiled = fused_block(x, w1, b1, w2, b2, act="relu", spatial_tile=3)
+        np.testing.assert_allclose(tiled, dense, atol=1e-10)
+
+    def test_restore_epilogue_tiled(self, rng):
+        x = rng.normal(size=(2, 4, 8, 8))
+        w1 = rng.normal(size=(12, 4))
+        dense = fused_restore(x, w1, None, act="relu")
+        tiled = fused_restore(x, w1, None, act="relu", spatial_tile=2)
+        np.testing.assert_allclose(tiled, dense, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000), tile=st.sampled_from([1, 2, 3, 4, 6, 8]),
+           block=st.integers(1, 25))
+    def test_property_tiling_invariance(self, seed, tile, block):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 3, 12, 12))
+        w1 = rng.normal(size=(7, 3))
+        w2 = rng.normal(size=(2, 7))
+        dense = fused_block(x, w1, None, w2, None, act="tanh",
+                            block_size=block)
+        tiled = fused_block(x, w1, None, w2, None, act="tanh",
+                            block_size=block, spatial_tile=tile)
+        np.testing.assert_allclose(tiled, dense, atol=1e-9)
+
+
+class TestTiledScratch:
+    def test_scratch_shrinks_with_spatial_tile(self):
+        shape = (1, 8, 16, 16)
+        full = fused_scratch_bytes(shape, 4, block_size=8)
+        tiled = fused_scratch_bytes(shape, 4, block_size=8, spatial_tile=4)
+        assert tiled == full // 16
+
+    def test_non_dividing_tile_keeps_full_scratch(self):
+        shape = (1, 8, 10, 10)
+        full = fused_scratch_bytes(shape, 4, block_size=8)
+        assert fused_scratch_bytes(shape, 4, block_size=8, spatial_tile=3) == full

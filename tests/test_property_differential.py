@@ -1,0 +1,114 @@
+"""Differential property tests over randomly generated CNNs.
+
+For arbitrary structurally-diverse graphs, the whole stack must agree
+with itself:
+
+- every decomposition method lowers to a sequence matching its
+  reconstructed kernel (semantics within float tolerance),
+- the full TeMCO pipeline preserves outputs and never raises the peak,
+- the static estimator equals the executor's measurement (both
+  accounting policies),
+- serialization round-trips optimized graphs bit-exactly,
+- arena plans stay valid on optimized graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compare_graphs, estimate_peak_internal, optimize
+from repro.decompose import DecompositionConfig, decompose_graph
+from repro.ir import graph_from_dict, graph_to_dict
+from repro.runtime import execute, plan_arena
+
+from _fuzz import random_cnn
+from _graph_fixtures import random_input
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_pipeline_preserves_semantics_on_random_cnns(seed):
+    g = random_cnn(seed)
+    dg = decompose_graph(g, DecompositionConfig(ratio=0.3))
+    opt, report = optimize(dg)
+    opt.validate()
+    inp = random_input(dg, seed)
+    eq = compare_graphs(dg, opt, inp)
+    assert eq.within(rtol=3e-3, atol=1e-5), \
+        f"seed {seed}: max err {eq.max_abs_error} / scale {eq.output_scale}"
+    assert report.peak_after <= report.peak_before
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       method=st.sampled_from(["tucker", "cp", "tt"]))
+def test_every_method_optimizable(seed, method):
+    g = random_cnn(seed, max_blocks=3)
+    dg = decompose_graph(g, DecompositionConfig(method=method, ratio=0.4,
+                                                cp_iters=8, seed=seed))
+    opt, report = optimize(dg)
+    eq = compare_graphs(dg, opt, random_input(dg, seed))
+    assert eq.within(rtol=3e-3, atol=1e-5)
+    assert report.peak_after <= report.peak_before
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), inplace=st.booleans())
+def test_estimator_parity_on_optimized_random_cnns(seed, inplace):
+    g = random_cnn(seed)
+    dg = decompose_graph(g, DecompositionConfig(ratio=0.3))
+    opt, _ = optimize(dg)
+    measured = execute(opt, random_input(opt, seed),
+                       inplace_activations=inplace).memory.peak_internal_bytes
+    assert estimate_peak_internal(opt, inplace_activations=inplace) == measured
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_serialization_roundtrip_on_optimized_random_cnns(seed):
+    g = random_cnn(seed, max_blocks=3)
+    dg = decompose_graph(g, DecompositionConfig(ratio=0.3))
+    opt, _ = optimize(dg)
+    structure, weights = graph_to_dict(opt)
+    rebuilt = graph_from_dict(structure, weights)
+    inp = random_input(opt, seed)
+    np.testing.assert_array_equal(execute(opt, inp).output(),
+                                  execute(rebuilt, inp).output())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_pipeline_idempotent_on_random_cnns(seed):
+    """Optimizing an already-optimized graph must be safe and not regress."""
+    g = random_cnn(seed, max_blocks=3)
+    dg = decompose_graph(g, DecompositionConfig(ratio=0.3))
+    once, r1 = optimize(dg)
+    twice, r2 = optimize(once)
+    assert r2.peak_after <= r1.peak_after
+    eq = compare_graphs(once, twice, random_input(once, seed))
+    assert eq.within(rtol=3e-3, atol=1e-5)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_arena_execution_on_random_cnns(seed):
+    """Arena-backed execution must agree with the normal executor —
+    the planner's non-overlap guarantee proven by running in it."""
+    from repro.runtime import execute_in_arena
+    g = random_cnn(seed, max_blocks=3)
+    inp = random_input(g, seed)
+    want = execute(g, inp).output()
+    outputs, _plan = execute_in_arena(g, inp)
+    np.testing.assert_allclose(outputs[g.outputs[0].name], want, atol=1e-5)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_arena_valid_on_optimized_random_cnns(seed):
+    g = random_cnn(seed)
+    dg = decompose_graph(g, DecompositionConfig(ratio=0.3))
+    opt, _ = optimize(dg)
+    plan = plan_arena(opt)
+    plan.validate()
+    assert plan.fragmentation < 1.0

@@ -1,0 +1,74 @@
+"""DOT export and report emitters."""
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import optimize
+from repro.decompose import DecompositionConfig, decompose_graph
+from repro.ir import save_dot, to_dot
+from repro.runtime import (compare_markdown, execute, op_breakdown,
+                           profile_markdown, timeline_csv)
+
+from _graph_fixtures import make_chain_graph, make_skip_graph, random_input
+
+
+class TestDot:
+    def test_contains_every_node_and_edge(self):
+        g = make_skip_graph()
+        dot = to_dot(g)
+        for node in g.nodes:
+            assert f'"{node.name}"' in dot
+        assert dot.count("->") >= sum(len(n.inputs) for n in g.nodes)
+        assert dot.startswith("digraph")
+
+    def test_roles_colored(self):
+        g = decompose_graph(make_chain_graph(), DecompositionConfig(ratio=0.25))
+        dot = to_dot(g)
+        assert "fconv" in dot and "lconv" in dot
+
+    def test_fused_nodes_annotated(self):
+        g = decompose_graph(make_chain_graph(), DecompositionConfig(ratio=0.25))
+        opt, _ = optimize(g)
+        dot = to_dot(opt)
+        assert "fused_block" in dot
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "g.dot"
+        save_dot(make_chain_graph(), path)
+        assert path.read_text().startswith("digraph")
+
+
+class TestReports:
+    def _profile(self, factory=make_skip_graph):
+        g = factory()
+        return execute(g, random_input(g)).memory
+
+    def test_timeline_csv_parses(self):
+        profile = self._profile()
+        rows = list(csv.DictReader(io.StringIO(timeline_csv(profile))))
+        assert len(rows) == len(profile.events)
+        assert int(rows[0]["live_bytes"]) > 0
+
+    def test_profile_markdown_mentions_peak(self):
+        profile = self._profile()
+        md = profile_markdown(profile, title="T")
+        assert "## T" in md and "peak internal" in md
+        peak = profile.peak_event()
+        assert peak.node_name in md
+
+    def test_compare_markdown(self):
+        a = self._profile(make_chain_graph)
+        b = self._profile(make_skip_graph)
+        md = compare_markdown({"one": a, "two": b})
+        assert md.count("|") > 8
+        assert "one" in md and "two" in md
+
+    def test_op_breakdown_sorted(self):
+        profile = self._profile()
+        breakdown = op_breakdown(profile)
+        values = list(breakdown.values())
+        assert values == sorted(values, reverse=True)
+        assert "concat" in breakdown

@@ -1,0 +1,93 @@
+"""Allocator invariants, including hypothesis-driven alloc/free traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import DType, Value
+from repro.runtime import AllocationError, TensorAllocator
+
+
+def v(name, elems):
+    return Value(name, (elems,), DType.float32)
+
+
+class TestAllocatorBasics:
+    def test_peak_tracks_high_water_mark(self):
+        a = TensorAllocator()
+        a.alloc(v("x", 100))     # 400 B
+        a.alloc(v("y", 50))      # +200 B
+        a.free(v("x", 100))
+        a.alloc(v("z", 10))
+        assert a.peak_bytes == 600
+        assert a.current_bytes == 240
+
+    def test_peak_live_set_snapshot(self):
+        a = TensorAllocator()
+        a.alloc(v("x", 100))
+        a.alloc(v("y", 50))
+        a.free(v("y", 50))
+        assert set(a.peak_live_set) == {"x", "y"}
+
+    def test_double_alloc_rejected(self):
+        a = TensorAllocator()
+        a.alloc(v("x", 1))
+        with pytest.raises(AllocationError, match="allocated twice"):
+            a.alloc(v("x", 1))
+
+    def test_free_unknown_rejected(self):
+        a = TensorAllocator()
+        with pytest.raises(AllocationError, match="not live"):
+            a.free(v("ghost", 1))
+
+    def test_leak_check(self):
+        a = TensorAllocator()
+        a.alloc(v("x", 1))
+        with pytest.raises(AllocationError, match="leaked"):
+            a.assert_empty()
+        a.assert_empty(keep={"x"})
+
+    def test_scratch_bumps_peak_without_residency(self):
+        a = TensorAllocator()
+        a.alloc(v("x", 100))  # 400 B
+        a.charge_scratch(1000)
+        assert a.peak_bytes == 1400
+        assert a.current_bytes == 400
+        assert a.peak_live_set.get("<scratch>") == 1000
+
+    def test_scratch_below_peak_is_ignored(self):
+        a = TensorAllocator()
+        a.alloc(v("x", 1000))
+        a.free(v("x", 1000))
+        a.charge_scratch(10)
+        assert a.peak_bytes == 4000
+
+    def test_allocation_traffic(self):
+        a = TensorAllocator()
+        a.alloc(v("x", 10))
+        a.free(v("x", 10))
+        a.alloc(v("y", 10))
+        assert a.num_allocations == 2
+        assert a.total_allocated_bytes == 80
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 9),
+                              st.integers(1, 100)), max_size=60))
+def test_property_peak_is_max_of_current(ops):
+    """Replay random alloc/free traces; peak must equal the running max
+    of the live total, and the live total must never go negative."""
+    a = TensorAllocator()
+    live: dict[int, Value] = {}
+    running_max = 0
+    for is_alloc, slot, elems in ops:
+        if is_alloc and slot not in live:
+            val = v(f"s{slot}", elems)
+            live[slot] = val
+            a.alloc(val)
+        elif not is_alloc and slot in live:
+            a.free(live.pop(slot))
+        running_max = max(running_max, a.current_bytes)
+        assert a.current_bytes == sum(x.nbytes for x in live.values())
+    assert a.peak_bytes == running_max

@@ -1,0 +1,64 @@
+"""Parallel batch-sharded inference."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import ParallelRunner, execute, shard_batch
+
+from _graph_fixtures import make_chain_graph, random_input
+
+
+class TestShardBatch:
+    def test_even_split(self):
+        inputs = {"x": np.arange(8).reshape(8, 1)}
+        shards = shard_batch(inputs, 4)
+        assert [s["x"].shape[0] for s in shards] == [2, 2, 2, 2]
+        np.testing.assert_array_equal(
+            np.concatenate([s["x"] for s in shards]), inputs["x"])
+
+    def test_uneven_split(self):
+        inputs = {"x": np.arange(7).reshape(7, 1)}
+        shards = shard_batch(inputs, 3)
+        assert sum(s["x"].shape[0] for s in shards) == 7
+
+    def test_more_shards_than_batch(self):
+        inputs = {"x": np.arange(2).reshape(2, 1)}
+        shards = shard_batch(inputs, 8)
+        assert len(shards) == 2
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            shard_batch({"x": np.zeros((0, 1))}, 2)
+
+    def test_inconsistent_batches_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            shard_batch({"x": np.zeros((2, 1)), "y": np.zeros((3, 1))}, 2)
+
+
+class TestParallelRunner:
+    def test_matches_serial(self):
+        g = make_chain_graph(batch=2)
+        big = {"x": np.random.default_rng(0).normal(
+            size=(6, 16, 12, 12)).astype(np.float32)}
+        with ParallelRunner(g, num_workers=2) as runner:
+            par = runner.run(big)
+        serial = np.concatenate([
+            execute(g, {"x": big["x"][i:i + 2]}).output() for i in (0, 2, 4)])
+        np.testing.assert_allclose(par[g.outputs[0].name], serial, atol=1e-6)
+
+    def test_indivisible_batch_rejected(self):
+        g = make_chain_graph(batch=2)
+        with ParallelRunner(g, num_workers=2) as runner:
+            with pytest.raises(ValueError, match="not divisible"):
+                runner.run({"x": np.zeros((3, 16, 12, 12), np.float32)})
+
+    def test_runs_without_pool_when_single_shard(self):
+        g = make_chain_graph(batch=2)
+        runner = ParallelRunner(g, num_workers=2)  # no __enter__: local path
+        out = runner.run(random_input(g))
+        assert out[g.outputs[0].name].shape == g.outputs[0].shape
+
+    def test_bad_worker_count_rejected(self):
+        g = make_chain_graph()
+        with pytest.raises(ValueError, match="num_workers"):
+            ParallelRunner(g, num_workers=0)

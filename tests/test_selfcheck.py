@@ -1,0 +1,29 @@
+"""The install self-check scorecard."""
+
+from repro.selfcheck import CHECKS, run_selfcheck
+
+
+class TestSelfcheck:
+    def test_all_checks_pass(self, capsys):
+        results = run_selfcheck(verbose=True)
+        out = capsys.readouterr().out
+        assert all(r.passed for r in results), [r.detail for r in results
+                                                if not r.passed]
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_covers_every_registered_check(self):
+        results = run_selfcheck(verbose=False)
+        assert [r.name for r in results] == [name for name, _ in CHECKS]
+        assert all(r.seconds >= 0 for r in results)
+
+    def test_failures_are_reported_not_raised(self, monkeypatch):
+        import repro.selfcheck as sc
+
+        def boom():
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(sc, "CHECKS", [("boom", boom)])
+        results = sc.run_selfcheck(verbose=False)
+        assert len(results) == 1
+        assert not results[0].passed
+        assert "injected" in results[0].detail
