@@ -33,6 +33,8 @@ from .core import (TeMCOCompiler, TeMCOConfig, assert_equivalent,
 from .decompose import DecompositionConfig, decompose_graph
 from .ir import DType, Graph, GraphBuilder, Node, Value, format_graph
 from .models import MODEL_ZOO, build_model, model_names
+from .obs import (NoopTracer, Tracer, configure_logging, get_tracer,
+                  use_tracer, write_chrome_trace)
 from .runtime import InferenceSession, MemoryProfile, ParallelRunner, execute
 
 __version__ = "1.0.0"
@@ -60,4 +62,10 @@ __all__ = [
     "MemoryProfile",
     "ParallelRunner",
     "execute",
+    "Tracer",
+    "NoopTracer",
+    "get_tracer",
+    "use_tracer",
+    "configure_logging",
+    "write_chrome_trace",
 ]

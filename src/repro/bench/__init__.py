@@ -7,7 +7,8 @@ from .figures import (Figure4Result, Figure10Row, Figure11Row, Figure12Row,
                       figure4, figure10, figure11, figure12,
                       internal_reduction_geomean, overhead_ratios)
 from .harness import (MIB, PAPER_LABELS, VariantSet, bar_chart, build_variants,
-                      fast_mode, format_table, geomean, variant_names_for)
+                      fast_mode, format_table, geomean, trace_figures,
+                      variant_names_for)
 
 __all__ = [
     "MIB",
@@ -18,6 +19,7 @@ __all__ = [
     "format_table",
     "bar_chart",
     "geomean",
+    "trace_figures",
     "variant_names_for",
     "figure4",
     "figure10",

@@ -12,8 +12,17 @@ optimize MODEL|FILE.npz [-o OUT.npz]
 run MODEL|FILE.npz
     Execute one inference on synthetic input; print the memory profile
     and wall-clock time.
+trace MODEL|FILE.npz
+    Decompose + optimize + run one inference with full tracing; write a
+    Chrome trace (open in Perfetto / ``chrome://tracing``) carrying the
+    compiler's decision log, per-node executor spans and the live-bytes
+    counter track.
 bench {fig4,fig10,fig11,fig12}
     Regenerate one paper figure as a text table.
+
+``optimize``, ``run`` and ``bench`` also accept ``--trace PATH`` (dump
+a Chrome trace / JSONL of the whole command) and ``--log-level`` (wire
+stdlib logging for the ``repro`` hierarchy).
 """
 
 from __future__ import annotations
@@ -25,18 +34,38 @@ from pathlib import Path
 import numpy as np
 
 from .bench import (PAPER_LABELS, figure4, figure10, figure11, figure12,
-                    format_table, internal_reduction_geomean, overhead_ratios)
+                    format_table, internal_reduction_geomean, overhead_ratios,
+                    trace_figures)
 from .core import TeMCOConfig, estimate_peak_internal, optimize
 from .decompose import DecompositionConfig, decompose_graph
 from .ir import (Graph, format_graph, load_graph, save_dot, save_graph,
                  summarize_graph)
 from .models import EXTRA_MODELS, MODEL_ZOO, build_extra, build_model
-from .runtime import (InferenceSession, plan_arena, profile_markdown,
-                      timeline_csv)
+from .obs import Tracer, configure_logging, use_tracer, write_trace
+from .runtime import (InferenceSession, metrics_markdown, plan_arena,
+                      profile_markdown, timeline_csv)
 
 __all__ = ["main", "build_parser"]
 
 MIB = 1024 * 1024
+
+
+def _obs_wrap(fn):
+    """Honour ``--log-level`` / ``--trace`` around a command function."""
+    def wrapped(args) -> int:
+        if getattr(args, "log_level", None):
+            configure_logging(args.log_level)
+        trace_path = getattr(args, "trace", None)
+        if not trace_path:
+            return fn(args)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            rc = fn(args)
+        path = write_trace(tracer, trace_path)
+        print(f"wrote trace ({len(tracer.spans)} spans, "
+              f"{len(tracer.decisions)} decisions) to {path}")
+        return rc
+    return wrapped
 
 
 def _load_model(spec: str, batch: int, hw: int | None, seed: int) -> Graph:
@@ -134,36 +163,82 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Compile + run one model under a tracer; write the trace artifact."""
+    if args.log_level:
+        configure_logging(args.log_level)
+    graph = _load_model(args.model, args.batch, args.hw, args.seed)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        target = graph
+        if not args.no_optimize:
+            decomposed = decompose_graph(graph, DecompositionConfig(
+                method=args.method, ratio=args.ratio, seed=args.seed))
+            target, _report = optimize(decomposed)
+        rng = np.random.default_rng(args.seed)
+        inputs = {v.name: rng.normal(size=v.shape).astype(v.dtype.np)
+                  for v in target.inputs}
+        result = InferenceSession(target, tracer=tracer).run(inputs)
+    out = Path(args.trace) if args.trace else Path(f"{graph.name}.trace.json")
+    write_trace(tracer, out)
+
+    profile = result.memory
+    series = tracer.counter_series("memory", "live_bytes")
+    ok = (series == [e.live_bytes for e in profile.events]
+          and max(series, default=0) == profile.peak_internal_bytes)
+    verdicts: dict[str, int] = {}
+    for d in tracer.decisions:
+        verdicts[d.verdict] = verdicts.get(d.verdict, 0) + 1
+    print(f"traced {graph.name}: {len(tracer.spans)} spans, "
+          f"{len(tracer.decisions)} decision events {verdicts}, "
+          f"{len(tracer.counters)} memory samples")
+    print(f"memory counter track {'matches' if ok else 'DOES NOT match'} the "
+          f"executor profile (peak {profile.peak_internal_bytes / MIB:.2f} MiB)")
+    print()
+    print(metrics_markdown(tracer.metrics,
+                           title=f"{graph.name} session metrics"))
+    hint = (" (one JSON record per line)" if out.suffix == ".jsonl" else
+            " (open at https://ui.perfetto.dev or chrome://tracing)")
+    print(f"wrote trace to {out}{hint}")
+    return 0 if ok else 1
+
+
 def _cmd_bench(args) -> int:
-    if args.figure == "fig4":
-        result = figure4(args.model or "unet", batch=args.batch)
-        rows = [[variant, i, mib] for variant, series in result.timelines.items()
-                for i, mib in series]
-        print(format_table(["variant", "layer", "live MiB"], rows,
-                           title=f"Figure 4 ({result.model}), peaks: {result.peaks}"))
-    elif args.figure == "fig10":
-        models = [args.model] if args.model else None
-        rows = figure10(models=models, batch=args.batch)
-        print(format_table(
-            ["model", "variant", "weights MiB", "internal MiB"],
-            [[r.model, PAPER_LABELS[r.variant], r.weight_mib, r.internal_mib]
-             for r in rows], title="Figure 10"))
-        print(f"geomean internal reduction: "
-              f"{internal_reduction_geomean(rows):.1%} (paper: 75.7%)")
-    elif args.figure == "fig11":
-        models = [args.model] if args.model else None
-        rows = figure11(models=models, batches=(args.batch,), hw=32, repeats=2)
-        print(format_table(["model", "variant", "batch", "time ms"],
-                           [[r.model, r.variant, r.batch, r.seconds * 1e3]
-                            for r in rows], title="Figure 11"))
-        print(f"overhead ratios: {overhead_ratios(rows)}")
-    else:
-        models = [args.model] if args.model else None
-        rows = figure12(models=models, batch=args.batch, hw=32)
-        print(format_table(
-            ["model", "variant", "metric", "agreement"],
-            [[r.model, PAPER_LABELS[r.variant], r.metric,
-              r.agreement_with_decomposed] for r in rows], title="Figure 12"))
+    if args.log_level:
+        configure_logging(args.log_level)
+    with trace_figures(args.trace):
+        if args.figure == "fig4":
+            result = figure4(args.model or "unet", batch=args.batch)
+            rows = [[variant, i, mib] for variant, series in result.timelines.items()
+                    for i, mib in series]
+            print(format_table(["variant", "layer", "live MiB"], rows,
+                               title=f"Figure 4 ({result.model}), peaks: {result.peaks}"))
+        elif args.figure == "fig10":
+            models = [args.model] if args.model else None
+            rows = figure10(models=models, batch=args.batch)
+            print(format_table(
+                ["model", "variant", "weights MiB", "internal MiB"],
+                [[r.model, PAPER_LABELS[r.variant], r.weight_mib, r.internal_mib]
+                 for r in rows], title="Figure 10"))
+            print(f"geomean internal reduction: "
+                  f"{internal_reduction_geomean(rows):.1%} (paper: 75.7%)")
+        elif args.figure == "fig11":
+            models = [args.model] if args.model else None
+            rows = figure11(models=models, batches=(args.batch,), hw=args.hw,
+                            repeats=args.repeats)
+            print(format_table(["model", "variant", "batch", "time ms"],
+                               [[r.model, r.variant, r.batch, r.seconds * 1e3]
+                                for r in rows], title="Figure 11"))
+            print(f"overhead ratios: {overhead_ratios(rows)}")
+        else:
+            models = [args.model] if args.model else None
+            rows = figure12(models=models, batch=args.batch, hw=args.hw)
+            print(format_table(
+                ["model", "variant", "metric", "agreement"],
+                [[r.model, PAPER_LABELS[r.variant], r.metric,
+                  r.agreement_with_decomposed] for r in rows], title="Figure 12"))
+    if args.trace:
+        print(f"wrote trace to {args.trace}")
     return 0
 
 
@@ -181,6 +256,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--hw", type=int, default=None)
         p.add_argument("--seed", type=int, default=0)
 
+    def obs_flags(p):
+        p.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                       help="dump a Chrome trace (or JSONL for *.jsonl) of "
+                            "this command")
+        p.add_argument("--log-level", dest="log_level", default=None,
+                       choices=("debug", "info", "warning", "error"),
+                       help="wire stdlib logging for the repro.* loggers")
+
     p = sub.add_parser("inspect", help="print IR and memory estimates")
     common(p)
     p.add_argument("--ir", action="store_true", help="dump the full IR")
@@ -188,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("optimize", help="decompose + TeMCO-optimize")
     common(p)
+    obs_flags(p)
     p.add_argument("--method", choices=("tucker", "cp", "tt"), default="tucker")
     p.add_argument("--ratio", type=float, default=0.1)
     p.add_argument("--rank-policy", choices=("ratio", "energy"),
@@ -197,12 +281,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--concat-strategy", choices=("merge", "split", "none"),
                    default="merge")
     p.add_argument("-o", "--output", type=Path, default=None)
-    p.set_defaults(fn=_cmd_optimize)
+    p.set_defaults(fn=_obs_wrap(_cmd_optimize))
 
     p = sub.add_parser("run", help="run one inference with profiling")
     common(p)
+    obs_flags(p)
     p.add_argument("--repeats", type=int, default=3)
-    p.set_defaults(fn=_cmd_run)
+    p.set_defaults(fn=_obs_wrap(_cmd_run))
+
+    p = sub.add_parser("trace", help="decompose + optimize + run one "
+                                     "inference with full tracing")
+    common(p)
+    obs_flags(p)
+    p.add_argument("--method", choices=("tucker", "cp", "tt"), default="tucker")
+    p.add_argument("--ratio", type=float, default=0.1)
+    p.add_argument("--no-optimize", action="store_true", dest="no_optimize",
+                   help="trace the raw model without decompose+TeMCO")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("export", help="export DOT graph / CSV timeline / "
                                       "Markdown memory report")
@@ -221,6 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("figure", choices=("fig4", "fig10", "fig11", "fig12"))
     p.add_argument("--model", default=None)
     p.add_argument("--batch", type=int, default=4)
+    p.add_argument("--hw", type=int, default=32,
+                   help="input resolution for fig11/fig12 (default 32)")
+    p.add_argument("--repeats", type=int, default=2,
+                   help="timing repeats per fig11 measurement (default 2)")
+    obs_flags(p)
     p.set_defaults(fn=_cmd_bench)
     return parser
 

@@ -15,6 +15,7 @@ also be hidden in the fused layers".
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,6 +24,9 @@ from ..ir import ops as _ops
 from ..ir.emit import make_node
 from ..ir.graph import Graph
 from ..ir.node import Node
+from ..obs import get_tracer
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["FusionConfig", "FusionStats", "fuse_activation_layers"]
 
@@ -76,20 +80,29 @@ def fuse_activation_layers(graph: Graph,
     """Apply activation layer fusion greedily over the schedule."""
     config = config or FusionConfig()
     stats = FusionStats()
-    changed = True
-    while changed:
-        changed = False
-        consumers = graph.consumer_map()
-        for node in list(graph.nodes):
-            if not _ops.is_lconv(node):
-                continue
-            chain = _match_chain(graph, node, consumers, config)
-            if chain is None:
-                continue
-            _fuse(graph, chain, config, stats)
-            changed = True
-            break  # consumer map is stale; rescan
-    graph.validate()
+    tracer = get_tracer()
+    with tracer.span("fusion", category="compiler", graph=graph.name):
+        changed = True
+        while changed:
+            changed = False
+            consumers = graph.consumer_map()
+            for node in list(graph.nodes):
+                if not _ops.is_lconv(node):
+                    continue
+                chain = _match_chain(graph, node, consumers, config)
+                if chain is None:
+                    continue
+                _fuse(graph, chain, config, stats)
+                changed = True
+                break  # consumer map is stale; rescan
+        if tracer.enabled:
+            # the lconvs left standing are the patterns fusion skipped
+            for node in graph.nodes:
+                if _ops.is_lconv(node):
+                    tracer.decision("fusion", node.name, "skip",
+                                    "no_fusable_chain",
+                                    restored_bytes=node.output.nbytes)
+        graph.validate()
     return stats
 
 
@@ -216,3 +229,11 @@ def _fuse(graph: Graph, chain: _Chain, config: FusionConfig,
             graph.remove_node(dead)
     stats.fused += 1
     stats.details.append(fused.name)
+    get_tracer().decision(
+        "fusion", fused.name,
+        "fuse", "restore_epilogue" if fconv is None else "lconv_act_fconv",
+        chain_nodes=len(attrs["fused_from"]),
+        reduced_bytes=lconv.inputs[0].nbytes,
+        restored_bytes=lconv.output.nbytes,
+        block_size=config.block_size)
+    logger.debug("fusion: %s collapses %s", fused.name, attrs["fused_from"])

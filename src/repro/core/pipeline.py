@@ -13,9 +13,11 @@ to run/inspect individual stages.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from ..ir.graph import Graph
+from ..obs import get_tracer
 from .fusion import FusionConfig, FusionStats, fuse_activation_layers
 from .liveness import estimate_peak_internal
 from .scheduling import ScheduleStats, reschedule
@@ -25,6 +27,8 @@ from .transform import (TransformStats, commute_upsample_lconv,
                         push_act_through_concat, split_concat_fconv)
 
 __all__ = ["TeMCOConfig", "OptimizationReport", "TeMCOCompiler", "optimize"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -117,37 +121,57 @@ class TeMCOCompiler:
         up worse than running the pipeline *without* skip-opt, the
         compiler falls back to the latter.
         """
-        optimized, report = self._run_once(graph, self.config)
-        if (self.config.enable_skip_opt
-                and report.skip_opt is not None
-                and report.skip_opt.optimized > 0):
-            no_skip = TeMCOConfig(
-                enable_skip_opt=False,
-                enable_transforms=self.config.enable_transforms,
-                enable_fusion=self.config.enable_fusion,
-                enable_scheduling=self.config.enable_scheduling,
-                concat_strategy=self.config.concat_strategy,
-                skip_opt=self.config.skip_opt,
-                fusion=self.config.fusion)
-            alt, alt_report = self._run_once(graph, no_skip)
-            if alt_report.peak_after < report.peak_after:
-                optimized, report = alt, alt_report
-        if (report.peak_after > report.peak_before
-                and (self.config.enable_skip_opt or self.config.enable_transforms)
-                and self.config.enable_fusion):
-            # last-resort guard: fusion alone only ever removes tensors
-            fusion_only = TeMCOConfig(
-                enable_skip_opt=False, enable_transforms=False,
-                enable_fusion=True,
-                enable_scheduling=self.config.enable_scheduling,
-                concat_strategy="none", fusion=self.config.fusion)
-            alt, alt_report = self._run_once(graph, fusion_only)
-            if alt_report.peak_after < report.peak_after:
-                return alt, alt_report
+        tracer = get_tracer()
+        with tracer.span("pipeline", category="compiler", graph=graph.name):
+            optimized, report = self._run_once(graph, self.config)
+            if (self.config.enable_skip_opt
+                    and report.skip_opt is not None
+                    and report.skip_opt.optimized > 0):
+                no_skip = TeMCOConfig(
+                    enable_skip_opt=False,
+                    enable_transforms=self.config.enable_transforms,
+                    enable_fusion=self.config.enable_fusion,
+                    enable_scheduling=self.config.enable_scheduling,
+                    concat_strategy=self.config.concat_strategy,
+                    skip_opt=self.config.skip_opt,
+                    fusion=self.config.fusion)
+                alt, alt_report = self._run_once(graph, no_skip)
+                if alt_report.peak_after < report.peak_after:
+                    tracer.decision(
+                        "pipeline", graph.name, "fallback", "no_skip_better",
+                        with_skip_peak_bytes=report.peak_after,
+                        without_skip_peak_bytes=alt_report.peak_after)
+                    logger.info("pipeline: %s kept the no-skip-opt variant "
+                                "(peak %d B < %d B)", graph.name,
+                                alt_report.peak_after, report.peak_after)
+                    optimized, report = alt, alt_report
+            if (report.peak_after > report.peak_before
+                    and (self.config.enable_skip_opt or self.config.enable_transforms)
+                    and self.config.enable_fusion):
+                # last-resort guard: fusion alone only ever removes tensors
+                fusion_only = TeMCOConfig(
+                    enable_skip_opt=False, enable_transforms=False,
+                    enable_fusion=True,
+                    enable_scheduling=self.config.enable_scheduling,
+                    concat_strategy="none", fusion=self.config.fusion)
+                alt, alt_report = self._run_once(graph, fusion_only)
+                if alt_report.peak_after < report.peak_after:
+                    tracer.decision(
+                        "pipeline", graph.name, "fallback", "fusion_only_better",
+                        full_pipeline_peak_bytes=report.peak_after,
+                        fusion_only_peak_bytes=alt_report.peak_after)
+                    logger.info("pipeline: %s fell back to fusion-only "
+                                "(peak %d B < %d B)", graph.name,
+                                alt_report.peak_after, report.peak_after)
+                    return alt, alt_report
+            tracer.metrics.gauge("pipeline.peak_before_bytes", report.peak_before)
+            tracer.metrics.gauge("pipeline.peak_after_bytes", report.peak_after)
+            tracer.metrics.gauge("pipeline.peak_reduction", report.peak_reduction)
         return optimized, report
 
     def _run_once(self, graph: Graph,
                   config: TeMCOConfig) -> tuple[Graph, OptimizationReport]:
+        tracer = get_tracer()
         work = graph.clone(f"{graph.name}.temco")
         report = OptimizationReport(
             peak_before=estimate_peak_internal(work),
@@ -158,18 +182,21 @@ class TeMCOCompiler:
 
         if config.enable_transforms:
             tstats = TransformStats()
-            commute_upsample_lconv(work, tstats)
-            if config.concat_strategy == "merge":
-                # merge the all-restore-chain concats (Fig. 9a), then fall
-                # back to splitting the remaining mixed concats (Fig. 9c)
-                merge_lconv_concat(work, tstats)
-                merge_lconv_add(work, tstats)
-                push_act_through_concat(work, tstats)
-                split_concat_fconv(work, tstats)
-            elif config.concat_strategy == "split":
-                merge_lconv_add(work, tstats)
-                push_act_through_concat(work, tstats)
-                split_concat_fconv(work, tstats)
+            with tracer.span("transforms", category="compiler",
+                             graph=work.name,
+                             concat_strategy=config.concat_strategy):
+                commute_upsample_lconv(work, tstats)
+                if config.concat_strategy == "merge":
+                    # merge the all-restore-chain concats (Fig. 9a), then fall
+                    # back to splitting the remaining mixed concats (Fig. 9c)
+                    merge_lconv_concat(work, tstats)
+                    merge_lconv_add(work, tstats)
+                    push_act_through_concat(work, tstats)
+                    split_concat_fconv(work, tstats)
+                elif config.concat_strategy == "split":
+                    merge_lconv_add(work, tstats)
+                    push_act_through_concat(work, tstats)
+                    split_concat_fconv(work, tstats)
             report.transforms = tstats
 
         if config.enable_fusion:
@@ -182,6 +209,8 @@ class TeMCOCompiler:
         work.validate()
         report.peak_after = estimate_peak_internal(work)
         report.weight_bytes_after = work.weight_bytes()
+        logger.debug("pipeline: %s peak %d B -> %d B", work.name,
+                     report.peak_before, report.peak_after)
         return work, report
 
 

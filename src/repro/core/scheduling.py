@@ -17,11 +17,15 @@ This module implements that general tool:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from ..ir.graph import Graph
 from ..ir.node import Node
+from ..obs import get_tracer
 from .liveness import estimate_peak_internal
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["ScheduleStats", "reschedule", "schedule_peak", "greedy_order"]
 
@@ -129,11 +133,23 @@ def greedy_order(graph: Graph) -> list[Node]:
 def reschedule(graph: Graph) -> ScheduleStats:
     """Reorder ``graph.nodes`` in place if the greedy order lowers the
     statically estimated peak; otherwise leave the graph untouched."""
-    peak_before = estimate_peak_internal(graph)
-    candidate = greedy_order(graph)
-    peak_after = schedule_peak(graph, candidate)
-    if peak_after < peak_before:
-        graph.nodes = candidate
-        graph.validate()
-        return ScheduleStats(peak_before, peak_after, changed=True)
+    tracer = get_tracer()
+    with tracer.span("reschedule", category="compiler", graph=graph.name):
+        peak_before = estimate_peak_internal(graph)
+        candidate = greedy_order(graph)
+        peak_after = schedule_peak(graph, candidate)
+        if peak_after < peak_before:
+            graph.nodes = candidate
+            graph.validate()
+            tracer.decision("scheduling", graph.name, "apply", "peak_lowered",
+                            peak_before_bytes=peak_before,
+                            peak_after_bytes=peak_after)
+            logger.info("scheduling: reordered %s (peak %d B -> %d B)",
+                        graph.name, peak_before, peak_after)
+            return ScheduleStats(peak_before, peak_after, changed=True)
+        tracer.decision("scheduling", graph.name, "keep", "no_improvement",
+                        peak_before_bytes=peak_before,
+                        candidate_peak_bytes=peak_after)
+        logger.debug("scheduling: kept original order of %s (peak %d B)",
+                     graph.name, peak_before)
     return ScheduleStats(peak_before, peak_before, changed=False)

@@ -28,13 +28,17 @@ guaranteed wins.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from ..ir import ops as _ops
 from ..ir.graph import Graph
 from ..ir.node import Node
 from ..ir.value import Value
+from ..obs import get_tracer
 from .liveness import SkipConnection, estimate_peak_internal, find_skip_connections
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["SkipOptConfig", "SkipOptStats", "RestorePlan", "find_reduced",
            "optimize_skip_connections"]
@@ -219,6 +223,7 @@ def _peak(ordered: list[RestorePlan], final_size: int) -> int:
 def _passes_overhead(skip: SkipConnection, plan: RestorePlan,
                      config: SkipOptConfig, stats: SkipOptStats) -> bool:
     """Algorithm 1's ``Overhead`` guard (compute + local memory)."""
+    tracer = get_tracer()
     copies = len(skip.far_uses)
     total_copy_flops = plan.flops * copies
     if total_copy_flops > config.compute_slack * plan.orig_flops:
@@ -226,6 +231,12 @@ def _passes_overhead(skip: SkipConnection, plan: RestorePlan,
         stats.details.append(
             f"{skip.value.name}: rejected (copy flops {total_copy_flops:,} > "
             f"threshold {plan.orig_flops:,})")
+        tracer.decision("skip_opt", skip.value.name, "reject",
+                        "compute_overhead", copy_flops=total_copy_flops,
+                        threshold_flops=config.compute_slack * plan.orig_flops,
+                        copies=copies, chain_nodes=len(plan.nodes))
+        logger.debug("skip_opt: %s rejected (copy flops %d > threshold %d)",
+                     skip.value.name, total_copy_flops, plan.orig_flops)
         return False
     freed = skip.value.nbytes + sum(r.nbytes for r in plan.reduced)
     if plan.peak > config.memory_slack * freed:
@@ -233,6 +244,11 @@ def _passes_overhead(skip: SkipConnection, plan: RestorePlan,
         stats.details.append(
             f"{skip.value.name}: rejected (chain peak {plan.peak:,} B > "
             f"{config.memory_slack}x freed {freed:,} B)")
+        tracer.decision("skip_opt", skip.value.name, "reject",
+                        "memory_overhead", chain_peak_bytes=plan.peak,
+                        freed_bytes=freed, memory_slack=config.memory_slack)
+        logger.debug("skip_opt: %s rejected (chain peak %d B > %.1fx freed %d B)",
+                     skip.value.name, plan.peak, config.memory_slack, freed)
         return False
     return True
 
@@ -242,35 +258,63 @@ def optimize_skip_connections(graph: Graph,
     """Algorithm 1: optimize every qualifying skip connection in place."""
     config = config or SkipOptConfig()
     stats = SkipOptStats()
-    skips = find_skip_connections(graph, config.distance_threshold)
-    stats.candidates = len(skips)
-    baseline_peak = estimate_peak_internal(graph) if config.global_check else 0
+    tracer = get_tracer()
+    with tracer.span("skip_opt", category="compiler", graph=graph.name):
+        skips = find_skip_connections(graph, config.distance_threshold)
+        stats.candidates = len(skips)
+        logger.debug("skip_opt: %d candidate skip connections in %s",
+                     len(skips), graph.name)
+        baseline_peak = estimate_peak_internal(graph) if config.global_check else 0
 
-    for skip in sorted(skips, key=lambda s: s.interval.begin):
-        plan = find_reduced(graph, skip.producer, config.max_chain_nodes)
-        if plan is None:
-            stats.rejected_no_chain += 1
-            stats.details.append(f"{skip.value.name}: no reduced restore chain")
-            continue
-        if not _passes_overhead(skip, plan, config, stats):
-            continue
+        for skip in sorted(skips, key=lambda s: s.interval.begin):
+            with tracer.span(f"restore_plan:{skip.value.name}",
+                             category="compiler",
+                             skip_bytes=skip.value.nbytes,
+                             far_uses=len(skip.far_uses)):
+                plan = find_reduced(graph, skip.producer, config.max_chain_nodes)
+                if plan is None:
+                    stats.rejected_no_chain += 1
+                    stats.details.append(
+                        f"{skip.value.name}: no reduced restore chain")
+                    tracer.decision("skip_opt", skip.value.name, "reject",
+                                    "no_chain", skip_bytes=skip.value.nbytes,
+                                    far_uses=len(skip.far_uses))
+                    logger.debug("skip_opt: %s has no reduced restore chain",
+                                 skip.value.name)
+                    continue
+                if not _passes_overhead(skip, plan, config, stats):
+                    continue
 
-        inserted = _apply(graph, skip, plan)
-        if config.global_check:
-            new_peak = estimate_peak_internal(graph)
-            if new_peak >= baseline_peak and new_peak > 0:
-                _rollback(graph, skip, inserted)
-                stats.rejected_global += 1
-                stats.details.append(
-                    f"{skip.value.name}: rolled back (peak {new_peak:,} B "
-                    f">= baseline {baseline_peak:,} B)")
-                continue
-            baseline_peak = new_peak
-        stats.optimized += 1
-        stats.copies_inserted += len(skip.far_uses)
-        stats.nodes_copied += len(plan.nodes) * len(skip.far_uses)
-    graph.dead_code_eliminate()
-    graph.validate()
+                inserted = _apply(graph, skip, plan)
+                if config.global_check:
+                    new_peak = estimate_peak_internal(graph)
+                    if new_peak >= baseline_peak and new_peak > 0:
+                        _rollback(graph, skip, inserted)
+                        stats.rejected_global += 1
+                        stats.details.append(
+                            f"{skip.value.name}: rolled back (peak {new_peak:,} B "
+                            f">= baseline {baseline_peak:,} B)")
+                        tracer.decision("skip_opt", skip.value.name, "reject",
+                                        "global_peak", new_peak_bytes=new_peak,
+                                        baseline_peak_bytes=baseline_peak)
+                        logger.debug("skip_opt: %s rolled back (peak %d >= %d)",
+                                     skip.value.name, new_peak, baseline_peak)
+                        continue
+                    baseline_peak = new_peak
+                stats.optimized += 1
+                stats.copies_inserted += len(skip.far_uses)
+                stats.nodes_copied += len(plan.nodes) * len(skip.far_uses)
+                tracer.decision("skip_opt", skip.value.name, "accept", "ok",
+                                skip_bytes=skip.value.nbytes,
+                                chain_peak_bytes=plan.peak,
+                                copies=len(skip.far_uses),
+                                nodes_copied=len(plan.nodes) * len(skip.far_uses),
+                                copy_flops=plan.flops * len(skip.far_uses))
+                logger.info("skip_opt: optimized %s (%d B, %d restore copies)",
+                            skip.value.name, skip.value.nbytes,
+                            len(skip.far_uses))
+        graph.dead_code_eliminate()
+        graph.validate()
     return stats
 
 

@@ -25,6 +25,7 @@ skip-connection *join* points:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,6 +34,9 @@ from ..ir import ops as _ops
 from ..ir.emit import make_node
 from ..ir.graph import Graph
 from ..ir.node import Node
+from ..obs import get_tracer
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["TransformStats", "merge_lconv_concat", "merge_lconv_add",
            "split_concat_fconv", "commute_upsample_lconv",
@@ -215,6 +219,14 @@ def _try_merge_concat(graph: Graph, concat: Node, consumers: dict,
     stats.merged_concats += 1
     stats.details.append(f"concat {concat.name} -> merged lconv over "
                          f"{len(lconvs)} reduced branches")
+    get_tracer().decision(
+        "transform.merge_concat", concat.name, "apply", "all_branches_restorable",
+        branches=len(lconvs),
+        passthrough_branches=sum(1 for c in chains if c is None),
+        merged_weight_bytes=merged.params["weight"].nbytes,
+        concat_bytes=concat.output.nbytes)
+    logger.debug("transform: merged concat %s over %d branches",
+                 concat.name, len(lconvs))
     return True
 
 
@@ -258,6 +270,13 @@ def merge_lconv_add(graph: Graph, stats: TransformStats | None = None) -> Transf
             stats.merged_adds += 1
             stats.details.append(f"add {node.name} -> merged lconv over "
                                  f"{len(lconvs)} reduced branches")
+            get_tracer().decision(
+                "transform.merge_add", node.name, "apply",
+                "all_operands_restorable", branches=len(lconvs),
+                merged_weight_bytes=merged.params["weight"].nbytes,
+                add_bytes=node.output.nbytes)
+            logger.debug("transform: merged add %s over %d branches",
+                         node.name, len(lconvs))
             changed = True
             break
     graph.validate()
@@ -328,6 +347,13 @@ def split_concat_fconv(graph: Graph, stats: TransformStats | None = None) -> Tra
             stats.split_concats += 1
             stats.details.append(f"concat {node.name} + fconv {fconv.name} -> "
                                  f"{len(node.inputs)} branch convs + add chain")
+            get_tracer().decision(
+                "transform.split_concat", node.name, "apply",
+                "restorable_branch_present", branches=len(node.inputs),
+                fconv=fconv.name, fconv_weight_bytes=weight.nbytes,
+                concat_bytes=node.output.nbytes)
+            logger.debug("transform: split concat %s + fconv %s into %d branches",
+                         node.name, fconv.name, len(node.inputs))
             changed = True
             break
     graph.validate()
@@ -383,6 +409,11 @@ def push_act_through_concat(graph: Graph, stats: TransformStats | None = None) -
             graph.dead_code_eliminate()
             stats.pushed_acts += 1
             stats.details.append(f"{act.op} pushed through concat {node.name}")
+            get_tracer().decision(
+                "transform.push_act", node.name, "apply", "act_distributes",
+                act=act.op, branches=len(node.inputs))
+            logger.debug("transform: pushed %s through concat %s",
+                         act.op, node.name)
             changed = True
             break
     graph.validate()
@@ -433,6 +464,13 @@ def commute_upsample_lconv(graph: Graph, stats: TransformStats | None = None) ->
             graph.dead_code_eliminate()
             stats.commuted_upsamples += 1
             stats.details.append(f"upsample {node.name} moved onto reduced tensor")
+            get_tracer().decision(
+                "transform.commute_upsample", node.name, "apply",
+                "upsample_commutes_with_lconv",
+                reduced_bytes=lconv.inputs[0].nbytes,
+                restored_bytes=node.output.nbytes)
+            logger.debug("transform: commuted upsample %s onto reduced tensor",
+                         node.name)
             changed = True
             break
     graph.validate()

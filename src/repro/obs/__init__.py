@@ -1,0 +1,55 @@
+"""Observability: tracing, decision logging, metrics, trace export.
+
+The subsystem has three moving parts:
+
+- :class:`Tracer` / :class:`NoopTracer` (:mod:`repro.obs.tracer`) —
+  nested spans, instant events, counter tracks, and the structured
+  *decision event log* every compiler pass writes its accept/reject
+  verdicts to.  The no-op tracer is the ambient default, so tracing is
+  zero-cost unless explicitly installed with :func:`use_tracer`.
+- exporters (:mod:`repro.obs.export`) — Chrome trace-event JSON
+  (openable in Perfetto / ``chrome://tracing``) and a JSONL stream.
+- :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — counters and
+  gauges summarized as Markdown by
+  :func:`repro.runtime.report.metrics_markdown`.
+
+Quick use::
+
+    from repro.obs import Tracer, use_tracer, write_chrome_trace
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        optimized, report = optimize(decomposed)
+        InferenceSession(optimized).run(x)
+    write_chrome_trace(tracer, "trace.json")
+
+See ``docs/observability.md`` for the event taxonomy.
+"""
+
+from .events import CounterSample, DecisionEvent, InstantEvent, SpanRecord
+from .export import (chrome_trace_events, jsonl_records, to_chrome_trace,
+                     write_chrome_trace, write_jsonl, write_trace)
+from .metrics import MetricsRegistry
+from .tracer import (NOOP_TRACER, NoopTracer, Tracer, configure_logging,
+                     get_tracer, set_tracer, use_tracer)
+
+__all__ = [
+    "SpanRecord",
+    "InstantEvent",
+    "CounterSample",
+    "DecisionEvent",
+    "MetricsRegistry",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "configure_logging",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "jsonl_records",
+    "write_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,136 @@
+"""Trace exporters: Chrome trace-event JSON and a JSONL event stream.
+
+``write_chrome_trace`` emits the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``:
+
+- spans become complete events (``ph: "X"``) with microsecond ``ts`` /
+  ``dur``,
+- decision and instant events become instant events (``ph: "i"``) whose
+  ``args`` carry the verdict/reason/quantities,
+- counter samples become counter events (``ph: "C"``) — the ``memory``
+  track renders as the live-bytes timeline alongside the node spans,
+- process/thread names are set with metadata events (``ph: "M"``).
+
+``write_jsonl`` dumps the same records as one self-describing JSON
+object per line (``{"type": "span", ...}``), the grep-friendly form.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from .tracer import Tracer
+
+__all__ = ["chrome_trace_events", "to_chrome_trace", "write_chrome_trace",
+           "jsonl_records", "write_jsonl", "write_trace"]
+
+#: pid used for every emitted event (single-process tracer)
+TRACE_PID = 1
+#: tid of the span/decision timeline vs the counter tracks
+MAIN_TID = 0
+
+
+def chrome_trace_events(tracer: Tracer, *,
+                        process_name: str = "repro") -> list[dict]:
+    """The tracer's records as a flat Chrome ``traceEvents`` list."""
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": MAIN_TID,
+         "args": {"name": process_name}},
+        {"name": "thread_name", "ph": "M", "pid": TRACE_PID, "tid": MAIN_TID,
+         "args": {"name": "timeline"}},
+    ]
+    for span in tracer.spans:
+        events.append({
+            "name": span.name, "cat": span.category or "span", "ph": "X",
+            "ts": span.start_us, "dur": span.duration_us,
+            "pid": TRACE_PID, "tid": span.tid,
+            "args": dict(span.args, depth=span.depth),
+        })
+    for inst in tracer.instants:
+        events.append({
+            "name": inst.name, "cat": inst.category or "instant", "ph": "i",
+            "ts": inst.ts_us, "pid": TRACE_PID, "tid": MAIN_TID, "s": "t",
+            "args": dict(inst.args),
+        })
+    for dec in tracer.decisions:
+        events.append({
+            "name": f"{dec.pass_name}:{dec.subject}", "cat": "decision",
+            "ph": "i", "ts": dec.ts_us, "pid": TRACE_PID, "tid": MAIN_TID,
+            "s": "t",
+            "args": dict(dec.quantities, pass_name=dec.pass_name,
+                         subject=dec.subject, verdict=dec.verdict,
+                         reason=dec.reason),
+        })
+    for sample in tracer.counters:
+        events.append({
+            "name": sample.track, "cat": "counter", "ph": "C",
+            "ts": sample.ts_us, "pid": TRACE_PID, "tid": MAIN_TID,
+            "args": dict(sample.values),
+        })
+    return events
+
+
+def to_chrome_trace(tracer: Tracer, *, process_name: str = "repro") -> dict:
+    """The full Chrome trace JSON object."""
+    return {
+        "traceEvents": chrome_trace_events(tracer, process_name=process_name),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "metrics": tracer.metrics.snapshot(),
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path, *,
+                       process_name: str = "repro") -> Path:
+    """Write the tracer's records as Chrome trace JSON at ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(
+        tracer, process_name=process_name), indent=1))
+    return path
+
+
+def jsonl_records(tracer: Tracer) -> Iterator[dict]:
+    """Every record as a self-describing dict, in chronological order."""
+    records: list[tuple[float, dict]] = []
+    for span in tracer.spans:
+        records.append((span.start_us, {
+            "type": "span", "name": span.name, "category": span.category,
+            "start_us": span.start_us, "duration_us": span.duration_us,
+            "depth": span.depth, "args": dict(span.args)}))
+    for inst in tracer.instants:
+        records.append((inst.ts_us, {
+            "type": "instant", "name": inst.name, "category": inst.category,
+            "ts_us": inst.ts_us, "args": dict(inst.args)}))
+    for dec in tracer.decisions:
+        records.append((dec.ts_us, {
+            "type": "decision", "pass": dec.pass_name, "subject": dec.subject,
+            "verdict": dec.verdict, "reason": dec.reason, "ts_us": dec.ts_us,
+            "quantities": dict(dec.quantities)}))
+    for sample in tracer.counters:
+        records.append((sample.ts_us, {
+            "type": "counter", "track": sample.track, "ts_us": sample.ts_us,
+            "values": dict(sample.values)}))
+    for _, record in sorted(records, key=lambda r: r[0]):
+        yield record
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    path = Path(path)
+    with path.open("w") as fh:
+        for record in jsonl_records(tracer):
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def write_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Write ``path`` in the format its suffix implies: ``.jsonl`` gets
+    the JSONL stream, anything else Chrome trace JSON."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return write_jsonl(tracer, path)
+    return write_chrome_trace(tracer, path)

@@ -1,0 +1,43 @@
+"""Counter/gauge registry summarizing one compile-or-run session.
+
+The :class:`MetricsRegistry` is deliberately tiny: monotonically
+increasing counters (``inc``) and last-write-wins gauges (``gauge``),
+with a stable snapshot for reports.  Every :class:`~repro.obs.Tracer`
+owns one; passes and the runtime record headline numbers into it so a
+single Markdown table can summarize a session without replaying the
+full event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MetricsRegistry"]
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters and gauges."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        if name in self.counters:
+            return self.counters[name]
+        return self.gauges.get(name, default)
+
+    def snapshot(self) -> dict[str, float]:
+        """Counters and gauges merged into one sorted mapping."""
+        merged = {**self.counters, **self.gauges}
+        return dict(sorted(merged.items()))
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()

@@ -1,0 +1,214 @@
+"""Lightweight in-process tracer with nested spans and decision logging.
+
+Two implementations share one duck-typed API:
+
+- :class:`Tracer` — records everything into in-memory lists, ready for
+  the :mod:`repro.obs.export` emitters (Chrome trace JSON / JSONL).
+- :class:`NoopTracer` — the default.  ``enabled`` is ``False`` and
+  every method is a no-op; hot paths guard on ``tracer.enabled`` so a
+  disabled tracer costs one attribute read per node and allocates
+  nothing (the no-op span is a shared singleton).
+
+The *active* tracer is ambient state managed with
+:func:`get_tracer` / :func:`set_tracer` / :func:`use_tracer`, so the
+compiler passes and the executor pick it up without every call site
+having to thread a parameter through.  The ambient stack is
+process-global (not thread-local): install a tracer around a
+single-threaded compile/run section, not around a
+:class:`~repro.runtime.parallel.ParallelRunner` fan-out.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from .events import CounterSample, DecisionEvent, InstantEvent, SpanRecord
+from .metrics import MetricsRegistry
+
+__all__ = ["Tracer", "NoopTracer", "NOOP_TRACER", "get_tracer",
+           "set_tracer", "use_tracer", "configure_logging"]
+
+
+class _NoopSpan:
+    """Reusable do-nothing context manager (one shared instance)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """Disabled tracer: every operation is free and records nothing."""
+
+    enabled: bool = False
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+
+    def span(self, name: str, category: str = "", **args) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def now_us(self) -> float:
+        return 0.0
+
+    def complete(self, name: str, start_us: float, duration_us: float,
+                 category: str = "", **args) -> None:
+        return None
+
+    def instant(self, name: str, category: str = "", **args) -> None:
+        return None
+
+    def counter(self, track: str, **values) -> None:
+        return None
+
+    def decision(self, pass_name: str, subject: str, verdict: str,
+                 reason: str = "", **quantities) -> None:
+        return None
+
+
+#: process-wide default; ``get_tracer()`` returns this unless a real
+#: tracer has been installed
+NOOP_TRACER = NoopTracer()
+
+
+class Tracer(NoopTracer):
+    """Recording tracer: nested spans, instants, counters, decisions.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic float-seconds clock, injectable for deterministic
+        tests.  Defaults to :func:`time.perf_counter`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        super().__init__()
+        self._clock = clock
+        self._epoch = clock()
+        self._depth = 0
+        self.spans: list[SpanRecord] = []
+        self.instants: list[InstantEvent] = []
+        self.counters: list[CounterSample] = []
+        self.decisions: list[DecisionEvent] = []
+
+    # -- time ---------------------------------------------------------------
+
+    def now_us(self) -> float:
+        return (self._clock() - self._epoch) * 1e6
+
+    # -- spans --------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, category: str = "", **args) -> Iterator[None]:
+        """Timed nested region; the record is appended when it closes."""
+        start = self.now_us()
+        depth = self._depth
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            self.spans.append(SpanRecord(
+                name=name, category=category, start_us=start,
+                duration_us=self.now_us() - start, depth=depth, args=args))
+
+    def complete(self, name: str, start_us: float, duration_us: float,
+                 category: str = "", **args) -> None:
+        """Record an already-timed region (executor per-node fast path)."""
+        self.spans.append(SpanRecord(
+            name=name, category=category, start_us=start_us,
+            duration_us=duration_us, depth=self._depth, args=args))
+
+    # -- point events -------------------------------------------------------
+
+    def instant(self, name: str, category: str = "", **args) -> None:
+        self.instants.append(InstantEvent(
+            name=name, category=category, ts_us=self.now_us(), args=args))
+
+    def counter(self, track: str, **values) -> None:
+        self.counters.append(CounterSample(
+            track=track, ts_us=self.now_us(), values=values))
+
+    def decision(self, pass_name: str, subject: str, verdict: str,
+                 reason: str = "", **quantities) -> None:
+        self.decisions.append(DecisionEvent(
+            pass_name=pass_name, subject=subject, verdict=verdict,
+            reason=reason, ts_us=self.now_us(), quantities=quantities))
+        self.metrics.inc(f"{pass_name}.{verdict}")
+
+    # -- queries ------------------------------------------------------------
+
+    def decisions_for(self, pass_name: str,
+                      verdict: str | None = None,
+                      reason: str | None = None) -> list[DecisionEvent]:
+        """Filter the decision log (test/report convenience)."""
+        return [d for d in self.decisions
+                if d.pass_name == pass_name
+                and (verdict is None or d.verdict == verdict)
+                and (reason is None or d.reason == reason)]
+
+    def counter_series(self, track: str, key: str) -> list[float]:
+        """One series of a counter track, in record order."""
+        return [s.values[key] for s in self.counters
+                if s.track == track and key in s.values]
+
+
+# ---------------------------------------------------------------------------
+# ambient tracer
+# ---------------------------------------------------------------------------
+
+_STACK: list[NoopTracer] = [NOOP_TRACER]
+
+
+def get_tracer() -> NoopTracer:
+    """The currently active tracer (the no-op singleton by default)."""
+    return _STACK[-1]
+
+
+def set_tracer(tracer: NoopTracer | None) -> None:
+    """Replace the active tracer; ``None`` restores the no-op default."""
+    _STACK[-1] = tracer if tracer is not None else NOOP_TRACER
+
+
+@contextmanager
+def use_tracer(tracer: NoopTracer) -> Iterator[NoopTracer]:
+    """Install ``tracer`` as the ambient tracer for the ``with`` body."""
+    _STACK.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _STACK.pop()
+
+
+# ---------------------------------------------------------------------------
+# stdlib logging
+# ---------------------------------------------------------------------------
+
+def configure_logging(level: str = "info", *,
+                      stream: Any | None = None) -> logging.Logger:
+    """Wire the ``repro`` logger hierarchy to stderr at ``level``.
+
+    Idempotent: reinvoking only adjusts the level.  Every module in the
+    package logs through ``logging.getLogger(__name__)``, so this one
+    call controls all of them.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(
+            "%(levelname).1s %(name)s: %(message)s"))
+        logger.addHandler(handler)
+    return logger

@@ -6,8 +6,8 @@ from .engine import InferenceSession, TimingResult
 from .executor import ExecutionResult, NodeTiming, execute
 from .memory_profile import MemoryEvent, MemoryProfile
 from .parallel import ParallelRunner, shard_batch
-from .report import (compare_markdown, op_breakdown, profile_markdown,
-                     save_report, timeline_csv)
+from .report import (compare_markdown, metrics_markdown, op_breakdown,
+                     profile_markdown, save_report, timeline_csv)
 
 __all__ = [
     "AllocationError",
@@ -26,6 +26,7 @@ __all__ = [
     "ParallelRunner",
     "shard_batch",
     "timeline_csv",
+    "metrics_markdown",
     "profile_markdown",
     "compare_markdown",
     "op_breakdown",

@@ -13,6 +13,7 @@ peak is skip connections).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..ir.value import Value
 
@@ -36,6 +37,9 @@ class TensorAllocator:
     #: cumulative bytes ever allocated (allocation traffic)
     total_allocated_bytes: int = 0
     num_allocations: int = 0
+    #: optional enabled tracer (set by the executor); when present, every
+    #: alloc/free emits an instant event on the ``allocator`` category
+    tracer: Any = field(default=None, repr=False, compare=False)
 
     def alloc(self, value: Value) -> None:
         if value.name in self._live:
@@ -48,6 +52,10 @@ class TensorAllocator:
         if self.current_bytes > self.peak_bytes:
             self.peak_bytes = self.current_bytes
             self.peak_live_set = dict(self._live)
+        if self.tracer is not None:
+            self.tracer.instant("alloc", category="allocator",
+                                value=value.name, bytes=nbytes,
+                                live_bytes=self.current_bytes)
 
     def free(self, value: Value) -> None:
         try:
@@ -57,6 +65,10 @@ class TensorAllocator:
         self.current_bytes -= nbytes
         if self.current_bytes < 0:  # pragma: no cover - defensive
             raise AllocationError("negative live bytes: accounting bug")
+        if self.tracer is not None:
+            self.tracer.instant("free", category="allocator",
+                                value=value.name, bytes=nbytes,
+                                live_bytes=self.current_bytes)
 
     def charge_scratch(self, nbytes: int) -> None:
         """Transient workspace charge: bumps the peak if the current live
@@ -68,6 +80,9 @@ class TensorAllocator:
             self.peak_bytes = candidate
             self.peak_live_set = dict(self._live)
             self.peak_live_set["<scratch>"] = int(nbytes)
+        if self.tracer is not None:
+            self.tracer.instant("scratch", category="allocator",
+                                bytes=int(nbytes), live_bytes=candidate)
 
     @property
     def live_values(self) -> dict[str, int]:

@@ -19,11 +19,15 @@ which is what an embedded deployment of a TeMCO'd model would save.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from ..ir.graph import Graph
+from ..obs import get_tracer
 from .allocator import AllocationError
 from ..core.liveness import analyze_liveness
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["ArenaSlot", "ArenaPlan", "plan_arena", "execute_in_arena"]
 
@@ -94,6 +98,20 @@ def plan_arena(graph: Graph, *, alignment: int = 64) -> ArenaPlan:
     """
     if alignment < 1:
         raise ValueError(f"alignment must be >= 1, got {alignment}")
+    tracer = get_tracer()
+    with tracer.span("plan_arena", category="runtime", graph=graph.name):
+        plan = _plan_arena(graph, alignment)
+    if tracer.enabled:
+        tracer.instant("arena_plan", category="runtime", graph=graph.name,
+                       slots=len(plan.slots), arena_bytes=plan.arena_bytes,
+                       fragmentation=plan.fragmentation)
+    logger.debug("arena: %s planned into %d B over %d slots "
+                 "(fragmentation %.1f%%)", graph.name, plan.arena_bytes,
+                 len(plan.slots), plan.fragmentation * 100)
+    return plan
+
+
+def _plan_arena(graph: Graph, alignment: int) -> ArenaPlan:
     intervals = analyze_liveness(graph)
     candidates = []
     for value, interval in intervals.items():

@@ -8,6 +8,7 @@ and exposes the memory profile of the last run.
 
 from __future__ import annotations
 
+import logging
 import statistics
 import time
 from dataclasses import dataclass
@@ -15,8 +16,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ir.graph import Graph
+from ..obs import get_tracer
 from .executor import ExecutionResult, execute
 from .memory_profile import MemoryProfile
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["InferenceSession", "TimingResult"]
 
@@ -51,12 +55,18 @@ class InferenceSession:
     count_fused_scratch:
         Charge fused-kernel tiles to the internal-tensor pool (see
         :func:`repro.runtime.executor.execute`).
+    tracer:
+        An :class:`repro.obs.Tracer` that every inference of this
+        session records into; defaults to the ambient tracer (a no-op
+        unless one is installed with :func:`repro.obs.use_tracer`).
     """
 
-    def __init__(self, graph: Graph, *, count_fused_scratch: bool = False) -> None:
+    def __init__(self, graph: Graph, *, count_fused_scratch: bool = False,
+                 tracer=None) -> None:
         graph.validate()
         self.graph = graph
         self.count_fused_scratch = count_fused_scratch
+        self.tracer = tracer
         self.last_result: ExecutionResult | None = None
 
     @property
@@ -71,9 +81,15 @@ class InferenceSession:
                 raise ValueError(
                     f"graph has {len(self.graph.inputs)} inputs; pass a dict")
             inputs = {self.graph.inputs[0].name: inputs}
-        result = execute(self.graph, inputs, record_timings=record_timings,
-                         count_fused_scratch=self.count_fused_scratch)
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        with tracer.span("inference", category="runtime",
+                         graph=self.graph.name):
+            result = execute(self.graph, inputs, record_timings=record_timings,
+                             count_fused_scratch=self.count_fused_scratch,
+                             tracer=tracer)
         self.last_result = result
+        logger.debug("inference on %s: %s", self.graph.name,
+                     result.memory.summary())
         return result
 
     def profile_memory(self, inputs: dict[str, np.ndarray] | np.ndarray) -> MemoryProfile:

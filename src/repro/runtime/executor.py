@@ -23,6 +23,7 @@ import numpy as np
 from .. import kernels
 from ..ir.graph import Graph
 from ..ir.value import Value
+from ..obs import get_tracer
 from .allocator import TensorAllocator
 from .memory_profile import MemoryEvent, MemoryProfile
 
@@ -67,7 +68,8 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
             count_fused_scratch: bool = False,
             inplace_activations: bool = False,
             check_leaks: bool = True,
-            check_finite: bool = False) -> ExecutionResult:
+            check_finite: bool = False,
+            tracer=None) -> ExecutionResult:
     """Run ``graph`` on ``inputs`` (name -> array).
 
     Parameters
@@ -90,9 +92,20 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
         Debugging aid: raise ``FloatingPointError`` naming the first
         node that produces a non-finite value (NaN/inf), instead of
         letting it propagate silently to the output.
+    tracer:
+        An :class:`repro.obs.Tracer` to record per-node spans, the
+        ``memory`` counter track, and allocator alloc/free events into.
+        Defaults to the ambient tracer (:func:`repro.obs.get_tracer`),
+        which is a no-op unless one was installed — the hot path guards
+        on ``tracer.enabled`` so disabled tracing adds no allocations.
     """
+    if tracer is None:
+        tracer = get_tracer()
+    tracing = tracer.enabled
     env: dict[str, np.ndarray] = {}
     allocator = TensorAllocator()
+    if tracing:
+        allocator.tracer = tracer
     profile = MemoryProfile(weight_bytes=graph.weight_bytes())
     timings: list[NodeTiming] = []
 
@@ -127,7 +140,12 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
     for index, node in enumerate(graph.nodes):
         in_arrays = [env[v.name] for v in node.inputs]
         start = time.perf_counter() if record_timings else 0.0
+        span_start = tracer.now_us() if tracing else 0.0
         out_array = kernels.run_node(node, in_arrays)
+        if tracing:
+            tracer.complete(node.name, span_start,
+                            tracer.now_us() - span_start,
+                            category=node.op, index=index, op=node.op)
         if check_finite and not np.isfinite(out_array).all():
             bad = int((~np.isfinite(out_array)).sum())
             raise FloatingPointError(
@@ -146,6 +164,10 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
                 allocator.free(value_by_name[v.name])
                 del env[v.name]
                 refcount[v.name] = 0
+                if tracing:
+                    tracer.instant("reuse", category="allocator",
+                                   value=node.output.name, source=v.name,
+                                   bytes=node.output.nbytes)
 
         allocator.alloc(node.output)
         env[node.output.name] = out_array
@@ -164,6 +186,9 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
         profile.events.append(MemoryEvent(
             index=index, node_name=node.name, op=node.op,
             live_bytes=allocator.current_bytes, scratch_bytes=scratch))
+        if tracing:
+            tracer.counter("memory", live_bytes=allocator.current_bytes,
+                           scratch_bytes=scratch)
 
         # free inputs whose last use just ran
         for v in node.inputs:
@@ -185,4 +210,13 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
     profile.peak_live_set = allocator.peak_live_set
     profile.total_allocated_bytes = allocator.total_allocated_bytes
     profile.num_allocations = allocator.num_allocations
+    if tracing:
+        tracer.metrics.inc("executor.runs")
+        tracer.metrics.inc("executor.nodes_executed", len(graph.nodes))
+        tracer.metrics.inc("executor.allocation_traffic_bytes",
+                           allocator.total_allocated_bytes)
+        tracer.metrics.gauge("executor.peak_internal_bytes",
+                             allocator.peak_bytes)
+        tracer.metrics.gauge("executor.peak_scratch_bytes",
+                             profile.peak_scratch_bytes)
     return ExecutionResult(outputs=outputs, memory=profile, timings=timings)

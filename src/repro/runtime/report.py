@@ -12,10 +12,11 @@ import io
 from pathlib import Path
 
 from ..ir.graph import Graph
+from ..obs.metrics import MetricsRegistry
 from .memory_profile import MemoryProfile
 
 __all__ = ["timeline_csv", "profile_markdown", "compare_markdown",
-           "op_breakdown"]
+           "op_breakdown", "metrics_markdown"]
 
 MIB = 1024 * 1024
 
@@ -31,10 +32,15 @@ def timeline_csv(profile: MemoryProfile) -> str:
 
 
 def op_breakdown(profile: MemoryProfile) -> dict[str, int]:
-    """Peak live bytes observed while each op kind executes."""
+    """Peak memory observed while each op kind executes.
+
+    Ranks by :attr:`MemoryEvent.total_bytes` (live + transient scratch)
+    so fused kernels — whose channel-block tiles live outside the
+    live-tensor pool — are not under-reported relative to plain ops.
+    """
     peaks: dict[str, int] = {}
     for e in profile.events:
-        peaks[e.op] = max(peaks.get(e.op, 0), e.live_bytes)
+        peaks[e.op] = max(peaks.get(e.op, 0), e.total_bytes)
     return dict(sorted(peaks.items(), key=lambda kv: -kv[1]))
 
 
@@ -74,6 +80,21 @@ def compare_markdown(profiles: dict[str, MemoryProfile],
         lines.append(f"| {label} | {p.peak_internal_bytes / MIB:.2f}{extra} "
                      f"| {p.weight_bytes / MIB:.2f} "
                      f"| {p.peak_total_bytes / MIB:.2f} |")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_markdown(registry: MetricsRegistry,
+                     title: str = "Session metrics") -> str:
+    """A :class:`~repro.obs.MetricsRegistry` as one Markdown table.
+
+    Counters and gauges share the table; ``*_bytes`` entries get a MiB
+    companion column for readability.
+    """
+    lines = [f"## {title}", "", "| metric | value | MiB |", "|---|---|---|"]
+    for name, value in registry.snapshot().items():
+        mib = f"{value / MIB:.3f}" if name.endswith("_bytes") else ""
+        shown = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"| `{name}` | {shown} | {mib} |")
     return "\n".join(lines) + "\n"
 
 

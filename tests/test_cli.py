@@ -1,5 +1,7 @@
 """CLI commands run in-process."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -94,3 +96,57 @@ class TestCLI:
         assert main(["selfcheck"]) == 0
         out = capsys.readouterr().out
         assert "6/6 checks passed" in out
+
+
+class TestObservabilityCLI:
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "unet_small", "--batch", "1", "--hw", "32",
+                     "--ratio", "0.25", "--trace", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "memory counter track matches" in stdout
+        doc = json.loads(out.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases <= {"X", "i", "C", "M"}
+        # the memory counter track reproduces the profile peak
+        samples = [e["args"]["live_bytes"] for e in doc["traceEvents"]
+                   if e["ph"] == "C" and e["name"] == "memory"]
+        assert samples and max(samples) == \
+            doc["otherData"]["metrics"]["executor.peak_internal_bytes"]
+        # the compiler decision log made it into the trace
+        assert any(e.get("args", {}).get("pass_name") == "skip_opt"
+                   for e in doc["traceEvents"] if e["ph"] == "i")
+
+    def test_trace_default_output_path(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "alexnet", "--batch", "1", "--hw", "32",
+                     "--ratio", "0.25"]) == 0
+        assert (tmp_path / "alexnet.trace.json").exists()
+
+    def test_trace_jsonl_output(self, capsys, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "alexnet", "--batch", "1", "--hw", "32",
+                     "--ratio", "0.25", "--trace", str(out)]) == 0
+        records = [json.loads(line)
+                   for line in out.read_text().splitlines()]
+        assert {"span", "decision", "counter"} <= {r["type"] for r in records}
+
+    def test_optimize_with_trace_flag(self, capsys, tmp_path):
+        out = tmp_path / "opt.trace.json"
+        assert main(["optimize", "unet_small", "--batch", "1", "--hw", "32",
+                     "--ratio", "0.25", "--trace", str(out),
+                     "--log-level", "warning"]) == 0
+        doc = json.loads(out.read_text())
+        assert any(e["name"] == "pipeline" for e in doc["traceEvents"])
+
+    def test_bench_fig11_hw_and_repeats_flags(self, capsys):
+        assert main(["bench", "fig11", "--model", "alexnet", "--batch", "1",
+                     "--hw", "16", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out.lower()
+
+    def test_bench_with_trace_flag(self, capsys, tmp_path):
+        out = tmp_path / "bench.trace.json"
+        assert main(["bench", "fig12", "--model", "alexnet", "--batch", "1",
+                     "--hw", "16", "--trace", str(out)]) == 0
+        assert "traceEvents" in json.loads(out.read_text())

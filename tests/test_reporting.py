@@ -9,8 +9,10 @@ import pytest
 from repro.core import optimize
 from repro.decompose import DecompositionConfig, decompose_graph
 from repro.ir import save_dot, to_dot
-from repro.runtime import (compare_markdown, execute, op_breakdown,
-                           profile_markdown, timeline_csv)
+from repro.obs import MetricsRegistry
+from repro.runtime import (compare_markdown, execute, metrics_markdown,
+                           op_breakdown, profile_markdown, timeline_csv)
+from repro.runtime.memory_profile import MemoryEvent, MemoryProfile
 
 from _graph_fixtures import make_chain_graph, make_skip_graph, random_input
 
@@ -72,3 +74,25 @@ class TestReports:
         values = list(breakdown.values())
         assert values == sorted(values, reverse=True)
         assert "concat" in breakdown
+
+    def test_op_breakdown_ranks_by_total_bytes(self):
+        # fused op B peaks higher once scratch is charged, despite the
+        # smaller live set — total_bytes ranking must put it first
+        profile = MemoryProfile(events=[
+            MemoryEvent(0, "a", "conv2d", live_bytes=100, scratch_bytes=0),
+            MemoryEvent(1, "b", "fused_block", live_bytes=60,
+                        scratch_bytes=200),
+        ], peak_internal_bytes=100)
+        breakdown = op_breakdown(profile)
+        assert list(breakdown) == ["fused_block", "conv2d"]
+        assert breakdown["fused_block"] == 260
+        assert breakdown["conv2d"] == 100
+
+    def test_metrics_markdown_table(self):
+        registry = MetricsRegistry()
+        registry.inc("executor.runs", 2)
+        registry.gauge("executor.peak_internal_bytes", 3 * 1024 * 1024)
+        md = metrics_markdown(registry, title="M")
+        assert "## M" in md
+        assert "`executor.runs` | 2" in md
+        assert "3.000" in md  # bytes metrics get a MiB column
