@@ -11,7 +11,9 @@ A from-scratch NumPy stack:
   activation layer fusion, concat/add layer transformations),
 - :mod:`repro.models` — the 10-model benchmark zoo,
 - :mod:`repro.data` — synthetic datasets + metrics,
-- :mod:`repro.bench` — drivers regenerating the paper's figures.
+- :mod:`repro.bench` — drivers regenerating the paper's figures,
+- :mod:`repro.tune` — fused-kernel tile autotuning with a persistent
+  compiled-plan cache.
 
 Quickstart::
 
@@ -36,6 +38,7 @@ from .models import MODEL_ZOO, build_model, model_names
 from .obs import (NoopTracer, Tracer, configure_logging, get_tracer,
                   use_tracer, write_chrome_trace)
 from .runtime import InferenceSession, MemoryProfile, ParallelRunner, execute
+from .tune import TuneCache, TuneConfig, cached_overrides, tune_model
 
 __version__ = "1.0.0"
 
@@ -68,4 +71,8 @@ __all__ = [
     "use_tracer",
     "configure_logging",
     "write_chrome_trace",
+    "TuneCache",
+    "TuneConfig",
+    "tune_model",
+    "cached_overrides",
 ]

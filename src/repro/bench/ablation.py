@@ -25,7 +25,8 @@ from .harness import MIB
 
 __all__ = ["ThresholdPoint", "ablate_thresholds", "DecompositionPoint",
            "ablate_decomposition", "StrategyPoint", "ablate_concat_strategy",
-           "TilePoint", "ablate_tile_size"]
+           "TilePoint", "ablate_tile_size", "TunedTileChoice",
+           "tuned_tile_choices"]
 
 
 # ---------------------------------------------------------------------------
@@ -143,6 +144,36 @@ class TilePoint:
     block_size: int
     scratch_mib: float
     seconds: float
+
+
+@dataclass(frozen=True)
+class TunedTileChoice:
+    """What the autotuner picked for one fusion site."""
+
+    site: str
+    block_size: int
+    spatial_tile: int
+    best_ms: float
+    default_ms: float
+
+
+def tuned_tile_choices(model: str = "vgg16", batch: int = 4, hw: int = 32,
+                       budget: int = 6, repeats: int = 1,
+                       seed: int = 0) -> list[TunedTileChoice]:
+    """The autotuner's per-site picks on the same fused graph the A4
+    sweep times — lets the ablation report show where the measured
+    optimum lands relative to the swept grid."""
+    from ..tune import TuneConfig, tune_graph
+    original = build_model(model, batch=batch, hw=hw, seed=seed)
+    decomposed = decompose_graph(original, DecompositionConfig(seed=seed))
+    optimized, _report = optimize(decomposed)
+    result = tune_graph(optimized, TuneConfig(budget=budget, repeats=repeats,
+                                              seed=seed))
+    return [TunedTileChoice(site=s.site_key, block_size=s.block_size,
+                            spatial_tile=s.spatial_tile,
+                            best_ms=s.seconds * 1e3,
+                            default_ms=s.baseline_seconds * 1e3)
+            for s in result.sites]
 
 
 def ablate_tile_size(model: str = "vgg16", batch: int = 4, hw: int = 32,

@@ -11,7 +11,13 @@ optimize MODEL|FILE.npz [-o OUT.npz]
     optionally save the optimized graph.
 run MODEL|FILE.npz
     Execute one inference on synthetic input; print the memory profile
-    and wall-clock time.
+    and wall-clock time.  With ``--tuned``, execute the autotuned
+    compiled plan from the tuning cache (tuning + compiling first on a
+    miss unless ``--no-tune``).
+tune MODEL|FILE.npz
+    Autotune the fused kernels' ``(block_size, spatial_tile)`` and
+    persist the chosen tiles plus the compiled plan in the tuning
+    cache; a second invocation is a cache hit and does no work.
 trace MODEL|FILE.npz
     Decompose + optimize + run one inference with full tracing; write a
     Chrome trace (open in Perfetto / ``chrome://tracing``) carrying the
@@ -22,12 +28,15 @@ bench {fig4,fig10,fig11,fig12}
 
 ``optimize``, ``run`` and ``bench`` also accept ``--trace PATH`` (dump
 a Chrome trace / JSONL of the whole command) and ``--log-level`` (wire
-stdlib logging for the ``repro`` hierarchy).
+stdlib logging for the ``repro`` hierarchy), plus ``--tuned`` /
+``--no-tune`` / ``--cache-dir DIR`` to reuse ``repro tune`` results
+(see ``docs/tuning.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
@@ -35,7 +44,7 @@ import numpy as np
 
 from .bench import (PAPER_LABELS, figure4, figure10, figure11, figure12,
                     format_table, internal_reduction_geomean, overhead_ratios,
-                    trace_figures)
+                    trace_figures, use_tuned_fusion)
 from .core import TeMCOConfig, estimate_peak_internal, optimize
 from .decompose import DecompositionConfig, decompose_graph
 from .ir import (Graph, format_graph, load_graph, save_dot, save_graph,
@@ -44,6 +53,8 @@ from .models import EXTRA_MODELS, MODEL_ZOO, build_extra, build_model
 from .obs import Tracer, configure_logging, use_tracer, write_trace
 from .runtime import (InferenceSession, metrics_markdown, plan_arena,
                       profile_markdown, timeline_csv)
+from .tune import (TuneCache, TuneConfig, cached_overrides, load_cached_plan,
+                   tune_model)
 
 __all__ = ["main", "build_parser"]
 
@@ -125,13 +136,39 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _tuned_overrides(graph, args, decomposition: DecompositionConfig,
+                     temco: TeMCOConfig) -> dict | None:
+    """Resolve ``--tuned`` to fusion site overrides (tuning on a miss
+    unless ``--no-tune``); None means proceed untuned."""
+    cache = TuneCache(args.cache_dir)
+    overrides = cached_overrides(graph, cache=cache,
+                                 decomposition=decomposition, temco=temco)
+    if overrides is not None:
+        print(f"tune cache hit: {len(overrides)} tuned fusion sites")
+        return overrides
+    if args.no_tune:
+        print("tune cache miss (--no-tune): using default tiles; "
+              f"run `repro tune {args.model}` to populate the cache")
+        return None
+    print("tune cache miss: tuning now (use --no-tune to skip)")
+    _plan, record, _hit = tune_model(graph, cache=cache,
+                                     decomposition=decomposition, temco=temco)
+    return {} if record.fell_back_to_default else record.overrides
+
+
 def _cmd_optimize(args) -> int:
     graph = _load_model(args.model, args.batch, args.hw, args.seed)
-    decomposed = decompose_graph(graph, DecompositionConfig(
+    decomposition = DecompositionConfig(
         method=args.method, ratio=args.ratio, seed=args.seed,
-        rank_policy=args.rank_policy, energy=args.energy))
-    optimized, report = optimize(decomposed, TeMCOConfig(
-        concat_strategy=args.concat_strategy))
+        rank_policy=args.rank_policy, energy=args.energy)
+    temco = TeMCOConfig(concat_strategy=args.concat_strategy)
+    tuner = None
+    if args.tuned:
+        overrides = _tuned_overrides(graph, args, decomposition, temco)
+        if overrides:
+            tuner = lambda _g: overrides  # noqa: E731
+    decomposed = decompose_graph(graph, decomposition)
+    optimized, report = optimize(decomposed, temco, tuner=tuner)
     print(f"original:  {summarize_graph(graph)}")
     print(f"decomposed: {summarize_graph(decomposed)}")
     print(f"optimized:  {summarize_graph(optimized)}")
@@ -149,10 +186,30 @@ def _cmd_optimize(args) -> int:
 
 def _cmd_run(args) -> int:
     graph = _load_model(args.model, args.batch, args.hw, args.seed)
+    target = graph
+    if args.tuned:
+        cache = TuneCache(args.cache_dir)
+        decomposition = DecompositionConfig(method=args.method,
+                                            ratio=args.ratio, seed=args.seed)
+        cached = load_cached_plan(graph, cache=cache,
+                                  decomposition=decomposition)
+        if cached is not None:
+            target, record = cached
+            print(f"tune cache hit: executing cached compiled plan "
+                  f"(key {record.key}, {len(record.sites)} tuned sites)")
+        elif args.no_tune:
+            print(f"tune cache miss (--no-tune): running the raw model; "
+                  f"run `repro tune {args.model}` to populate the cache")
+        else:
+            print("tune cache miss: tuning now (use --no-tune to skip)")
+            target, record, _hit = tune_model(
+                graph, cache=cache, decomposition=decomposition)
+            print(f"tuned and cached {len(record.sites)} sites "
+                  f"(key {record.key}, {record.total_trials} trials)")
     rng = np.random.default_rng(args.seed)
     inputs = {v.name: rng.normal(size=v.shape).astype(v.dtype.np)
-              for v in graph.inputs}
-    session = InferenceSession(graph)
+              for v in target.inputs}
+    session = InferenceSession(target)
     timing = session.time_inference(inputs, warmup=1, repeats=args.repeats)
     result = session.run(inputs)
     print(f"output shapes: "
@@ -203,10 +260,54 @@ def _cmd_trace(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_tune(args) -> int:
+    graph = _load_model(args.model, args.batch, args.hw, args.seed)
+    cache = TuneCache(args.cache_dir)
+    decomposition = DecompositionConfig(method=args.method, ratio=args.ratio,
+                                        seed=args.seed)
+    temco = TeMCOConfig(concat_strategy=args.concat_strategy)
+    config = TuneConfig(mode=args.mode, budget=args.budget,
+                        repeats=args.repeats, seed=args.seed)
+    _plan, record, hit = tune_model(graph, cache=cache,
+                                    decomposition=decomposition, temco=temco,
+                                    config=config, force=args.force)
+    print(f"tune cache {'hit' if hit else 'miss'} for {graph.name} "
+          f"(key {record.key})")
+    if record.sites:
+        rows = [[s.site_key, s.block_size, s.spatial_tile,
+                 s.seconds * 1e3, s.baseline_seconds * 1e3, s.trials]
+                for s in record.sites]
+        print(format_table(
+            ["site", "block", "tile", "best ms", "default ms", "trials"],
+            rows, title=f"tuned tiles ({record.mode} mode, "
+                        f"{record.total_trials} trials)"))
+    else:
+        print("no fusion sites to tune")
+    if record.tuned_seconds is not None and record.default_seconds is not None:
+        verdict = (" — fell back to default tiles"
+                   if record.fell_back_to_default else "")
+        print(f"whole graph: tuned {record.tuned_seconds * 1e3:.2f} ms vs "
+              f"default {record.default_seconds * 1e3:.2f} ms{verdict}")
+    if record.peak_internal_bytes is not None:
+        print(f"peak internal: {record.peak_internal_bytes / MIB:.2f} MiB "
+              f"(tiles are scratch — unchanged by tuning)")
+    print(f"cache entry: {cache.record_path(record.key)}")
+    print(f"compiled plan: {cache.plan_path(record.key)}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     if args.log_level:
         configure_logging(args.log_level)
-    with trace_figures(args.trace):
+    tuned_ctx = contextlib.nullcontext()
+    if args.tuned:
+        cache = TuneCache(args.cache_dir)
+        print(f"bench: consulting tune cache at {cache.dir} (lookup only; "
+              f"run `repro tune MODEL` to populate)")
+        tuned_ctx = use_tuned_fusion(
+            lambda original, temco: cached_overrides(
+                original, cache=cache, temco=temco))
+    with tuned_ctx, trace_figures(args.trace):
         if args.figure == "fig4":
             result = figure4(args.model or "unet", batch=args.batch)
             rows = [[variant, i, mib] for variant, series in result.timelines.items()
@@ -264,6 +365,19 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("debug", "info", "warning", "error"),
                        help="wire stdlib logging for the repro.* loggers")
 
+    def tune_flags(p, *, no_tune: bool = True):
+        p.add_argument("--tuned", action="store_true",
+                       help="use autotuned fused-kernel tiles from the "
+                            "tuning cache (see `repro tune`)")
+        if no_tune:
+            p.add_argument("--no-tune", action="store_true", dest="no_tune",
+                           help="with --tuned: never tune on a cache miss, "
+                                "fall back to default tiles")
+        p.add_argument("--cache-dir", type=Path, default=None,
+                       dest="cache_dir", metavar="DIR",
+                       help="tuning cache directory (default "
+                            "$REPRO_TUNE_CACHE or ~/.cache/repro-tune)")
+
     p = sub.add_parser("inspect", help="print IR and memory estimates")
     common(p)
     p.add_argument("--ir", action="store_true", help="dump the full IR")
@@ -280,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="spectral-energy threshold for --rank-policy energy")
     p.add_argument("--concat-strategy", choices=("merge", "split", "none"),
                    default="merge")
+    tune_flags(p)
     p.add_argument("-o", "--output", type=Path, default=None)
     p.set_defaults(fn=_obs_wrap(_cmd_optimize))
 
@@ -287,7 +402,34 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     obs_flags(p)
     p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--method", choices=("tucker", "cp", "tt"), default="tucker",
+                   help="decomposition method for the --tuned plan lookup")
+    p.add_argument("--ratio", type=float, default=0.1,
+                   help="decomposition ratio for the --tuned plan lookup")
+    tune_flags(p)
     p.set_defaults(fn=_obs_wrap(_cmd_run))
+
+    p = sub.add_parser("tune", help="autotune fused-kernel tiles and cache "
+                                    "the compiled plan")
+    common(p)
+    obs_flags(p)
+    p.add_argument("--budget", type=int, default=12,
+                   help="measured trials per site (default 12)")
+    p.add_argument("--mode", choices=("per-site", "global"),
+                   default="per-site")
+    p.add_argument("--repeats", type=int, default=2,
+                   help="timing repeats per trial (default 2)")
+    p.add_argument("--method", choices=("tucker", "cp", "tt"), default="tucker")
+    p.add_argument("--ratio", type=float, default=0.1)
+    p.add_argument("--concat-strategy", choices=("merge", "split", "none"),
+                   default="merge")
+    p.add_argument("--force", action="store_true",
+                   help="retune even on a cache hit")
+    p.add_argument("--cache-dir", type=Path, default=None, dest="cache_dir",
+                   metavar="DIR",
+                   help="tuning cache directory (default $REPRO_TUNE_CACHE "
+                        "or ~/.cache/repro-tune)")
+    p.set_defaults(fn=_obs_wrap(_cmd_tune))
 
     p = sub.add_parser("trace", help="decompose + optimize + run one "
                                      "inference with full tracing")
@@ -321,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=2,
                    help="timing repeats per fig11 measurement (default 2)")
     obs_flags(p)
+    tune_flags(p, no_tune=False)
     p.set_defaults(fn=_cmd_bench)
     return parser
 

@@ -54,6 +54,11 @@ class FusionConfig:
         must be materialized) into a streaming ``fused_restore`` kernel
         that skips the intermediate full tensors.  Extension beyond the
         paper's lconv-act-fconv definition — see DESIGN.md.
+    site_overrides:
+        Optional per-site ``(block_size, spatial_tile)`` pairs keyed by
+        the *lconv* node name anchoring each fused chain — the handle
+        the :mod:`repro.tune` autotuner uses to install its measured
+        tile choices.  Sites without an entry use the global knobs.
     """
 
     block_size: int = 32
@@ -64,6 +69,25 @@ class FusionConfig:
     allow_upsample: bool = True
     require_activation: bool = False
     allow_epilogue: bool = True
+    site_overrides: dict[str, tuple[int, int]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if self.spatial_tile < 0:
+            raise ValueError(
+                f"spatial_tile must be >= 0, got {self.spatial_tile}")
+        for site, (blk, tile) in (self.site_overrides or {}).items():
+            if blk < 1 or tile < 0:
+                raise ValueError(
+                    f"bad override for site {site!r}: ({blk}, {tile})")
+
+    def tile_for(self, lconv_name: str) -> tuple[int, int]:
+        """The ``(block_size, spatial_tile)`` pair for one fusion site."""
+        if self.site_overrides and lconv_name in self.site_overrides:
+            blk, tile = self.site_overrides[lconv_name]
+            return int(blk), int(tile)
+        return self.block_size, self.spatial_tile
 
 
 @dataclass
@@ -186,11 +210,16 @@ def _fuse(graph: Graph, chain: _Chain, config: FusionConfig,
     if chain.act is not None:
         act_params = {k: v for k, v in chain.act.attrs.items()
                       if k in ("negative_slope", "alpha")}
+    block_size, spatial_tile = config.tile_for(lconv.name)
+    # clamp to the restored channel count: an oversized block runs as a
+    # single full-width tile, so the attrs must say so too — otherwise
+    # fused_scratch_bytes would report scratch the kernel never uses
+    block_size = min(max(1, block_size), int(params["w1"].shape[0]))
     attrs: dict = {
         "act": chain.act.op if chain.act is not None else None,
         "act_params": act_params or None,
-        "block_size": config.block_size,
-        "spatial_tile": config.spatial_tile,
+        "block_size": block_size,
+        "spatial_tile": spatial_tile,
         "fused_from": [lconv.name, *( [chain.act.name] if chain.act else []),
                        *( [chain.resample.name] if chain.resample else []),
                        *( [fconv.name] if fconv is not None else [])],
@@ -235,5 +264,6 @@ def _fuse(graph: Graph, chain: _Chain, config: FusionConfig,
         chain_nodes=len(attrs["fused_from"]),
         reduced_bytes=lconv.inputs[0].nbytes,
         restored_bytes=lconv.output.nbytes,
-        block_size=config.block_size)
+        block_size=block_size,
+        spatial_tile=spatial_tile)
     logger.debug("fusion: %s collapses %s", fused.name, attrs["fused_from"])

@@ -14,7 +14,8 @@ to run/inspect individual stages.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from ..ir.graph import Graph
 from ..obs import get_tracer
@@ -106,10 +107,37 @@ class OptimizationReport:
 
 
 class TeMCOCompiler:
-    """Stage-by-stage driver over a working copy of the input graph."""
+    """Stage-by-stage driver over a working copy of the input graph.
 
-    def __init__(self, config: TeMCOConfig | None = None) -> None:
+    Parameters
+    ----------
+    tuner:
+        Optional hook the fusion stage consults for measured tile
+        choices: a callable ``(graph) -> {lconv_name: (block_size,
+        spatial_tile)} | None`` (typically
+        :func:`repro.tune.cached_overrides` curried over a cache).
+        Returned overrides are merged over ``config.fusion``'s own.
+    """
+
+    def __init__(self, config: TeMCOConfig | None = None, *,
+                 tuner: Callable[[Graph], dict | None] | None = None) -> None:
         self.config = config or TeMCOConfig()
+        self.tuner = tuner
+
+    def _fusion_config(self, graph: Graph, config: TeMCOConfig) -> FusionConfig:
+        """The fusion knobs for this run, tuned if the tuner has data."""
+        if self.tuner is None:
+            return config.fusion
+        overrides = self.tuner(graph)
+        if not overrides:
+            return config.fusion
+        merged = dict(config.fusion.site_overrides or {})
+        merged.update(overrides)
+        get_tracer().decision("pipeline", graph.name, "tuned_fusion",
+                              "tuner_overrides", sites=len(overrides))
+        logger.info("pipeline: %s fusing with %d tuned site overrides",
+                    graph.name, len(overrides))
+        return replace(config.fusion, site_overrides=merged)
 
     def run(self, graph: Graph) -> tuple[Graph, OptimizationReport]:
         """Optimize a (typically decomposed) graph; the input is untouched.
@@ -200,7 +228,8 @@ class TeMCOCompiler:
             report.transforms = tstats
 
         if config.enable_fusion:
-            report.fusion = fuse_activation_layers(work, config.fusion)
+            report.fusion = fuse_activation_layers(
+                work, self._fusion_config(work, config))
 
         if config.enable_scheduling:
             report.schedule = reschedule(work)
@@ -214,6 +243,8 @@ class TeMCOCompiler:
         return work, report
 
 
-def optimize(graph: Graph, config: TeMCOConfig | None = None) -> tuple[Graph, OptimizationReport]:
+def optimize(graph: Graph, config: TeMCOConfig | None = None, *,
+             tuner: Callable[[Graph], dict | None] | None = None,
+             ) -> tuple[Graph, OptimizationReport]:
     """One-call TeMCO: returns ``(optimized graph, report)``."""
-    return TeMCOCompiler(config).run(graph)
+    return TeMCOCompiler(config, tuner=tuner).run(graph)

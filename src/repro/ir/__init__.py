@@ -17,7 +17,8 @@ from .dtype import DType
 from .graph import Graph, GraphBuilder
 from .node import Node
 from .printer import format_graph, format_node, summarize_graph
-from .serialize import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .serialize import (graph_fingerprint, graph_from_dict,
+                        graph_to_dict, load_graph, save_graph)
 from .value import Value, ValueNamer
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "to_dot",
     "save_dot",
     "graph_to_dict",
+    "graph_fingerprint",
     "graph_from_dict",
     "save_graph",
     "load_graph",

@@ -34,7 +34,7 @@ from .activation import get_activation
 from .pool import avgpool2d, maxpool2d, upsample_nearest
 
 __all__ = ["fused_block", "fused_restore", "fused_scratch_bytes",
-           "DEFAULT_BLOCK_SIZE"]
+           "spatially_tileable", "DEFAULT_BLOCK_SIZE"]
 
 #: Default number of restored channels processed per tile.
 DEFAULT_BLOCK_SIZE = 32
@@ -87,8 +87,8 @@ def _fused_core(x_region: np.ndarray, w1: np.ndarray, b1: np.ndarray | None,
     return out
 
 
-def _spatially_tileable(h: int, w: int, spatial_tile: int,
-                        pool: dict[str, Any] | None) -> bool:
+def spatially_tileable(h: int, w: int, spatial_tile: int,
+                       pool: dict[str, Any] | None) -> bool:
     """Spatial tiling is exact only when no window straddles a tile edge:
     non-overlapping unpadded pooling whose stride divides the tile, and
     tiles that divide the input."""
@@ -131,7 +131,9 @@ def fused_block(x: np.ndarray, w1: np.ndarray, b1: np.ndarray | None,
         Optional nearest-neighbour upsample scale (mutually exclusive
         with ``pool``); used after the UNet decoder transformation.
     block_size:
-        Restored channels per tile.
+        Restored channels per tile; clamped into ``[1, C']`` so an
+        oversized block reports the same scratch it actually uses
+        (one full-width tile) instead of a fictitious larger one.
     spatial_tile:
         Optional spatial tile edge (Listing 1's 3D blocking over
         (C', H, W)); applied only when exact — the input must tile
@@ -150,10 +152,10 @@ def fused_block(x: np.ndarray, w1: np.ndarray, b1: np.ndarray | None,
     if c_prime_w != c_prime:
         raise ValueError(f"w2 in-channels {c_prime_w} != w1 out-channels {c_prime}")
     act_fn = get_activation(act, **(act_params or {})) if act is not None else None
-    block_size = max(1, int(block_size))
+    block_size = min(max(1, int(block_size)), c_prime)
     spatial_tile = int(spatial_tile or 0)
 
-    if not _spatially_tileable(h, w, spatial_tile, pool):
+    if not spatially_tileable(h, w, spatial_tile, pool):
         out = _fused_core(x, w1, b1, w2, act_fn, pool, upsample, block_size)
     else:
         out = _tiled(x, w1, b1, w2, act_fn, pool, upsample, block_size,
@@ -222,9 +224,9 @@ def fused_restore(x: np.ndarray, w1: np.ndarray, b1: np.ndarray | None,
     if r_in_w != r_in:
         raise ValueError(f"w1 in-channels {r_in_w} != input channels {r_in}")
     act_fn = get_activation(act, **(act_params or {})) if act is not None else None
-    block_size = max(1, int(block_size))
+    block_size = min(max(1, int(block_size)), c_prime)
     spatial_tile = int(spatial_tile or 0)
-    if not _spatially_tileable(h, w, spatial_tile, pool):
+    if not spatially_tileable(h, w, spatial_tile, pool):
         return _fused_core(x, w1, b1, None, act_fn, pool, upsample, block_size)
     return _tiled(x, w1, b1, None, act_fn, pool, upsample, block_size,
                   spatial_tile, out_channels=c_prime)

@@ -1,0 +1,54 @@
+"""Autotuning + persistent compiled-plan cache for fused-kernel tiles.
+
+The fused kernels (paper Listing 1) expose a tile size that trades
+scratch memory against GEMM efficiency.  This package turns that knob
+from a hardcoded default into a measured, cached decision:
+
+- :mod:`repro.tune.cost_model` — analytic scratch/FLOPs/traffic
+  estimates that prune and order the candidate space,
+- :mod:`repro.tune.search` — grid seed → greedy hill-climb with early
+  stopping over real kernel timings,
+- :mod:`repro.tune.cache` — content-addressed persistent cache keyed
+  on graph fingerprint × compiler settings × hardware fingerprint,
+  storing tuned configs *and* serialized compiled plans,
+- :mod:`repro.tune.tuner` — the orchestrator plus the compiler-side
+  hooks (:func:`tune_model`, :func:`cached_overrides`).
+
+See ``docs/tuning.md`` for the search space, cache layout and the
+hardware-fingerprint caveats.
+"""
+
+from .cache import (CACHE_VERSION, SiteRecord, TuneCache, TuneRecord,
+                    default_cache_dir)
+from .cost_model import (CostEstimate, SiteSpec, estimate_cost,
+                         prune_candidates, site_candidates)
+from .fingerprint import hardware_digest, hardware_fingerprint
+from .search import SearchResult, Trial, greedy_search
+from .tuner import (TuneConfig, TuneResult, apply_overrides, cached_overrides,
+                    collect_sites, load_cached_plan, tune_graph, tune_model)
+
+__all__ = [
+    "CACHE_VERSION",
+    "TuneCache",
+    "TuneRecord",
+    "SiteRecord",
+    "default_cache_dir",
+    "SiteSpec",
+    "CostEstimate",
+    "site_candidates",
+    "estimate_cost",
+    "prune_candidates",
+    "hardware_fingerprint",
+    "hardware_digest",
+    "Trial",
+    "SearchResult",
+    "greedy_search",
+    "TuneConfig",
+    "TuneResult",
+    "collect_sites",
+    "tune_graph",
+    "apply_overrides",
+    "tune_model",
+    "cached_overrides",
+    "load_cached_plan",
+]

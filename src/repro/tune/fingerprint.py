@@ -1,0 +1,44 @@
+"""Hardware fingerprinting for the tuning cache.
+
+Measured tile choices are only transferable between machines with the
+same memory hierarchy and BLAS stack, so every cache entry is keyed on
+a digest of the attributes that plausibly move NumPy kernel timings:
+CPU architecture and model, core count, OS, Python and NumPy versions.
+
+The fingerprint is deliberately *coarse* (see ``docs/tuning.md``): it
+cannot see microcode, DVFS state, or a neighbour saturating the memory
+bus — entries from "the same" machine under different load still
+replay.  That is the standard autotuning-cache trade-off; ``repro tune
+--force`` re-measures when timings look stale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+
+import numpy as np
+
+__all__ = ["hardware_fingerprint", "hardware_digest"]
+
+
+def hardware_fingerprint() -> dict[str, str]:
+    """JSON-safe description of the machine the tuner measured on."""
+    return {
+        "machine": platform.machine(),
+        "processor": platform.processor() or platform.machine(),
+        "system": platform.system(),
+        "cpu_count": str(os.cpu_count() or 0),
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+        "numpy": np.__version__,
+    }
+
+
+def hardware_digest(fingerprint: dict[str, str] | None = None) -> str:
+    """Short stable digest of :func:`hardware_fingerprint`."""
+    fp = fingerprint if fingerprint is not None else hardware_fingerprint()
+    blob = json.dumps(fp, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]

@@ -1,0 +1,156 @@
+"""Measurement-driven tile search: grid seed → greedy hill-climb.
+
+The search operates on the cost model's pruned candidate list.  It
+measures a small *seed* set (the predicted-best candidate, the default
+configuration, and the blocking extremes), then hill-climbs from the
+best measured point to unmeasured neighbours in the
+``(block_size, spatial_tile)`` grid, stopping early when a patience
+budget of consecutive non-improvements is spent or the trial budget
+runs out.  Every trial is reported through a callback so the tuner can
+emit it as an observability decision event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .cost_model import CostEstimate
+
+__all__ = ["Trial", "SearchResult", "greedy_search"]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One measured candidate."""
+
+    block_size: int
+    spatial_tile: int
+    seconds: float
+    scratch_bytes: int
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.block_size, self.spatial_tile)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one site's search."""
+
+    best: Trial
+    trials: list[Trial] = field(default_factory=list)
+
+    @property
+    def measured(self) -> int:
+        return len(self.trials)
+
+    def trial_for(self, key: tuple[int, int]) -> Trial | None:
+        for t in self.trials:
+            if t.key == key:
+                return t
+        return None
+
+
+def _neighbors(key: tuple[int, int],
+               candidates: dict[tuple[int, int], CostEstimate]
+               ) -> list[tuple[int, int]]:
+    """Grid neighbours: adjacent block at the same tile, same/nearest
+    block at the adjacent tile.  Ordered by predicted score."""
+    block, tile = key
+    tiles = sorted({t for _b, t in candidates})
+    blocks_at = {t: sorted(b for b, t2 in candidates if t2 == t)
+                 for t in tiles}
+    out: list[tuple[int, int]] = []
+    row = blocks_at[tile]
+    i = row.index(block)
+    if i > 0:
+        out.append((row[i - 1], tile))
+    if i + 1 < len(row):
+        out.append((row[i + 1], tile))
+    j = tiles.index(tile)
+    for nj in (j - 1, j + 1):
+        if 0 <= nj < len(tiles):
+            nt = tiles[nj]
+            nearest = min(blocks_at[nt], key=lambda b: abs(b - block))
+            out.append((nearest, nt))
+    uniq = [k for k in dict.fromkeys(out) if k in candidates]
+    return sorted(uniq, key=lambda k: candidates[k].score)
+
+
+def greedy_search(candidates: list[CostEstimate],
+                  measure: Callable[[int, int], float],
+                  *,
+                  budget: int = 12,
+                  patience: int = 3,
+                  seeds: list[tuple[int, int]] | None = None,
+                  on_trial: Callable[[Trial], None] | None = None,
+                  ) -> SearchResult:
+    """Search ``candidates`` for the fastest measured configuration.
+
+    Parameters
+    ----------
+    measure:
+        ``measure(block_size, spatial_tile) -> seconds``; called at
+        most ``budget`` times.
+    seeds:
+        Candidate keys to measure first (deduplicated, invalid ones
+        ignored).  Defaults to the predicted-best plus the blocking
+        extremes.
+    patience:
+        Consecutive non-improving trials tolerated during the climb.
+    """
+    if not candidates:
+        raise ValueError("greedy_search needs at least one candidate")
+    budget = max(1, int(budget))
+    index = {(c.block_size, c.spatial_tile): c for c in candidates}
+    measured: dict[tuple[int, int], Trial] = {}
+    trials: list[Trial] = []
+
+    def run(key: tuple[int, int]) -> Trial | None:
+        if key in measured:
+            return measured[key]
+        if len(measured) >= budget:
+            return None
+        cand = index[key]
+        trial = Trial(block_size=cand.block_size,
+                      spatial_tile=cand.spatial_tile,
+                      seconds=float(measure(cand.block_size, cand.spatial_tile)),
+                      scratch_bytes=cand.scratch_bytes)
+        measured[key] = trial
+        trials.append(trial)
+        if on_trial is not None:
+            on_trial(trial)
+        return trial
+
+    by_score = sorted(index, key=lambda k: index[k].score)
+    blocks = sorted(b for b, _t in index)
+    seed_keys = list(seeds or [])
+    seed_keys += [by_score[0], (blocks[0], 0), (blocks[-1], 0)]
+    for key in dict.fromkeys(k for k in seed_keys if k in index):
+        if run(key) is None:
+            break
+
+    best = min(measured.values(), key=lambda t: t.seconds)
+    stall = 0
+    while len(measured) < budget and stall <= patience:
+        frontier = [k for k in _neighbors(best.key, index) if k not in measured]
+        if not frontier:
+            break
+        improved = False
+        for key in frontier:
+            trial = run(key)
+            if trial is None:
+                break
+            if trial.seconds < best.seconds:
+                best, stall, improved = trial, 0, True
+                break
+            stall += 1
+            if stall > patience:
+                break
+        if not improved and (stall > patience or len(measured) >= budget):
+            break
+        if not improved and not any(k not in measured
+                                    for k in _neighbors(best.key, index)):
+            break
+    return SearchResult(best=best, trials=trials)

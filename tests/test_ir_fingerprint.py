@@ -1,0 +1,96 @@
+"""graph_fingerprint: rename/attr-order invariance, change sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Graph, GraphBuilder, graph_fingerprint
+from repro.ir.node import Node
+from repro.ir.value import Value
+
+
+def _build(name="g", seed=0, attr_order="ab", node_suffix="",
+           channels=8, weight_bump=0.0):
+    """Two-conv chain with controllable names / attr ordering / weights."""
+    rng = np.random.default_rng(seed)
+    w1 = rng.normal(size=(channels, 4, 3, 3)).astype(np.float32) + weight_bump
+    w2 = rng.normal(size=(channels, channels, 3, 3)).astype(np.float32)
+    x = Value(f"x{node_suffix}", (2, 4, 8, 8))
+    g = Graph(name, [x])
+    if attr_order == "ab":
+        attrs1 = {"stride": [1, 1], "padding": [1, 1], "groups": 1}
+    else:  # same mapping, different insertion order
+        attrs1 = {"groups": 1, "padding": [1, 1], "stride": [1, 1]}
+    v1 = Value(f"h1{node_suffix}", (2, channels, 8, 8))
+    g.add_node(Node(name=f"c1{node_suffix}", op="conv2d", inputs=[x],
+                    output=v1, attrs=attrs1, params={"weight": w1}))
+    v2 = Value(f"h2{node_suffix}", (2, channels, 8, 8))
+    g.add_node(Node(name=f"c2{node_suffix}", op="conv2d", inputs=[v1],
+                    output=v2,
+                    attrs={"stride": [1, 1], "padding": [1, 1], "groups": 1},
+                    params={"weight": w2}))
+    g.outputs = [v2]
+    g.validate()
+    return g
+
+
+class TestFingerprintInvariance:
+    def test_deterministic(self):
+        assert graph_fingerprint(_build()) == graph_fingerprint(_build())
+
+    def test_node_and_value_renaming_is_invisible(self):
+        a = _build()
+        b = _build(name="renamed", node_suffix=".copy7")
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_attr_dict_insertion_order_is_invisible(self):
+        a = _build(attr_order="ab")
+        b = _build(attr_order="ba")
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_clone_preserves_fingerprint(self):
+        g = _build()
+        assert graph_fingerprint(g.clone("other-name")) == graph_fingerprint(g)
+
+    def test_fused_from_provenance_names_are_invisible(self):
+        # fused_from carries layer *names*; renaming them must not matter
+        a, b = _build(), _build(node_suffix=".v2")
+        a.nodes[0].attrs["fused_from"] = ["c1", "relu_1"]
+        b.nodes[0].attrs["fused_from"] = ["c1.v2", "relu_1.v2"]
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+
+class TestFingerprintSensitivity:
+    def test_weight_edit_changes_digest(self):
+        assert (graph_fingerprint(_build())
+                != graph_fingerprint(_build(weight_bump=0.5)))
+
+    def test_weight_edit_invisible_without_param_values(self):
+        a, b = _build(), _build(weight_bump=0.5)
+        assert (graph_fingerprint(a, include_param_values=False)
+                == graph_fingerprint(b, include_param_values=False))
+
+    def test_shape_change_changes_digest(self):
+        assert (graph_fingerprint(_build(channels=8))
+                != graph_fingerprint(_build(channels=16)))
+
+    def test_attr_value_change_changes_digest(self):
+        g = _build()
+        base = graph_fingerprint(g)
+        g.nodes[0].attrs["stride"] = [2, 2]
+        assert graph_fingerprint(g) != base
+
+    def test_op_change_changes_digest(self):
+        g = _build()
+        base = graph_fingerprint(g)
+        g.nodes[1].op = "lconv_marker"  # structural only; no re-validate
+        assert graph_fingerprint(g) != base
+
+    def test_batch_is_part_of_the_digest(self):
+        b1 = GraphBuilder("m", seed=0)
+        x = b1.input("image", (1, 4, 8, 8))
+        g1 = b1.finish(b1.relu(b1.conv2d(x, 8, 3, padding=1)))
+        b2 = GraphBuilder("m", seed=0)
+        x = b2.input("image", (2, 4, 8, 8))
+        g2 = b2.finish(b2.relu(b2.conv2d(x, 8, 3, padding=1)))
+        assert (graph_fingerprint(g1, include_param_values=False)
+                != graph_fingerprint(g2, include_param_values=False))

@@ -1,0 +1,101 @@
+"""repro.tune.search: greedy hill-climb over synthetic cost surfaces."""
+
+import pytest
+
+from repro.tune import Trial, greedy_search
+from repro.tune.cost_model import CostEstimate
+
+
+def make_grid(blocks=(4, 8, 16, 32, 64), tiles=(0, 8)):
+    """Candidates whose predicted score prefers large blocks."""
+    return [CostEstimate(block_size=b, spatial_tile=t,
+                         scratch_bytes=b * 1024, flops=1000,
+                         traffic_bytes=10 ** 6 // b, blocks=64 // b)
+            for t in tiles for b in blocks]
+
+
+class TestGreedySearch:
+    def test_finds_global_optimum_on_unimodal_surface(self):
+        cands = make_grid()
+        # true optimum at block 16, tile 8 — not the predicted best
+        def measure(block, tile):
+            return abs(block - 16) + (5 if tile != 8 else 0)
+
+        result = greedy_search(cands, measure, budget=20)
+        assert result.best.key == (16, 8)
+
+    def test_budget_is_respected(self):
+        cands = make_grid()
+        calls = []
+
+        def measure(block, tile):
+            calls.append((block, tile))
+            return float(block)
+
+        result = greedy_search(cands, measure, budget=3)
+        assert len(calls) == 3
+        assert result.measured == 3
+
+    def test_no_candidate_measured_twice(self):
+        cands = make_grid()
+        calls = []
+
+        def measure(block, tile):
+            calls.append((block, tile))
+            return 1.0
+
+        greedy_search(cands, measure, budget=50)
+        assert len(calls) == len(set(calls))
+
+    def test_seeds_measured_first(self):
+        cands = make_grid()
+        calls = []
+
+        def measure(block, tile):
+            calls.append((block, tile))
+            return 1.0
+
+        greedy_search(cands, measure, budget=10, seeds=[(8, 0)])
+        assert calls[0] == (8, 0)
+
+    def test_invalid_seed_ignored(self):
+        cands = make_grid()
+        result = greedy_search(cands, lambda b, t: float(b), budget=4,
+                               seeds=[(999, 7)])
+        assert result.measured == 4
+
+    def test_on_trial_sees_every_measurement(self):
+        cands = make_grid()
+        seen = []
+        result = greedy_search(cands, lambda b, t: float(b), budget=5,
+                               on_trial=seen.append)
+        assert seen == result.trials
+        assert all(isinstance(t, Trial) for t in seen)
+
+    def test_patience_stops_early(self):
+        cands = make_grid(blocks=(1, 2, 4, 8, 16, 32, 64), tiles=(0,))
+        calls = []
+
+        def measure(block, tile):
+            calls.append(block)
+            return 1.0  # flat surface: nothing ever improves
+
+        greedy_search(cands, measure, budget=50, patience=1)
+        assert len(calls) < len(cands)
+
+    def test_trial_for_lookup(self):
+        cands = make_grid()
+        result = greedy_search(cands, lambda b, t: float(b), budget=4)
+        some = result.trials[0]
+        assert result.trial_for(some.key) is some
+        assert result.trial_for((123, 456)) is None
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError):
+            greedy_search([], lambda b, t: 1.0)
+
+    def test_single_candidate(self):
+        cands = make_grid(blocks=(8,), tiles=(0,))
+        result = greedy_search(cands, lambda b, t: 2.5, budget=10)
+        assert result.best.key == (8, 0)
+        assert result.measured == 1
