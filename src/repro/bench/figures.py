@@ -153,6 +153,11 @@ class Figure11Row:
     variant: str
     batch: int
     seconds: float
+    #: tail percentiles over the timing repeats (0.0 when unmeasured,
+    #: e.g. rows constructed analytically in tests)
+    p50_seconds: float = 0.0
+    p95_seconds: float = 0.0
+    p99_seconds: float = 0.0
 
 
 def figure11(models: list[str] | None = None, batches: tuple[int, ...] = (4, 32),
@@ -171,7 +176,10 @@ def figure11(models: list[str] | None = None, batches: tuple[int, ...] = (4, 32)
                 timing = session.time_inference(inputs, warmup=warmup,
                                                 repeats=repeats)
                 rows.append(Figure11Row(model=model, variant=variant,
-                                        batch=batch, seconds=timing.median))
+                                        batch=batch, seconds=timing.median,
+                                        p50_seconds=timing.p50,
+                                        p95_seconds=timing.p95,
+                                        p99_seconds=timing.p99))
     return rows
 
 

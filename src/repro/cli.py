@@ -23,6 +23,15 @@ trace MODEL|FILE.npz
     Chrome trace (open in Perfetto / ``chrome://tracing``) carrying the
     compiler's decision log, per-node executor spans and the live-bytes
     counter track.
+serve MODEL|FILE.npz
+    Run the dynamic-batching inference server with a JSON/HTTP
+    frontend (``POST /infer``, ``GET /healthz``, ``GET /stats``).
+    ``--tuned`` serves the autotuned compiled plan from the tuning
+    cache.  See ``docs/serving.md``.
+loadgen MODEL|FILE.npz
+    Start an in-process server and drive it with an open- or
+    closed-loop load generator; reports throughput and p50/p95/p99
+    latency (``--json`` for machine-readable output).
 bench {fig4,fig10,fig11,fig12}
     Regenerate one paper figure as a text table.
 
@@ -37,7 +46,10 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
+import threading
+import time
 from pathlib import Path
 
 import numpy as np
@@ -53,6 +65,8 @@ from .models import EXTRA_MODELS, MODEL_ZOO, build_extra, build_model
 from .obs import Tracer, configure_logging, use_tracer, write_trace
 from .runtime import (InferenceSession, metrics_markdown, plan_arena,
                       profile_markdown, timeline_csv)
+from .serve import (InferenceServer, LoadgenConfig, ServerConfig, resolve_plan,
+                    run_loadgen, serve_http)
 from .tune import (TuneCache, TuneConfig, cached_overrides, load_cached_plan,
                    tune_model)
 
@@ -217,7 +231,77 @@ def _cmd_run(args) -> int:
     print(result.memory.summary())
     print(f"median wall-clock: {timing.median * 1e3:.1f} ms "
           f"over {args.repeats} runs")
+    print(f"latency percentiles: p50 {timing.p50 * 1e3:.1f} ms, "
+          f"p95 {timing.p95 * 1e3:.1f} ms, p99 {timing.p99 * 1e3:.1f} ms")
     return 0
+
+
+def _serve_plan(args) -> "Graph":
+    """Build the model and swap in the tuned compiled plan if asked."""
+    graph = _load_model(args.model, args.batch, args.hw, args.seed)
+    plan, hit = resolve_plan(graph, tuned=args.tuned,
+                             cache_dir=args.cache_dir, method=args.method,
+                             ratio=args.ratio, seed=args.seed)
+    if args.tuned:
+        print("tune cache hit: serving the cached compiled plan" if hit
+              else "tune cache miss: serving the raw graph "
+                   f"(run `repro tune {args.model}` to populate the cache)")
+    return plan
+
+
+def _server_config(args) -> ServerConfig:
+    return ServerConfig(
+        num_workers=args.workers, max_queue=args.max_queue,
+        max_wait_s=args.max_wait_ms / 1e3,
+        default_deadline_s=(args.deadline_ms / 1e3
+                            if args.deadline_ms is not None else None),
+        batching=not args.no_batching)
+
+
+def _cmd_serve(args) -> int:
+    plan = _serve_plan(args)
+    with InferenceServer(plan, _server_config(args)) as server:
+        with serve_http(server, host=args.host, port=args.port) as frontend:
+            host, port = frontend.address
+            print(f"serving {plan.name!r} on http://{host}:{port} "
+                  f"({args.workers} worker(s), graph batch "
+                  f"{server.graph_batch}, queue bound {args.max_queue})")
+            print("endpoints: POST /infer, GET /healthz, GET /stats")
+            try:
+                if args.duration is not None:
+                    time.sleep(args.duration)
+                else:
+                    threading.Event().wait()
+            except KeyboardInterrupt:
+                print("\nshutting down")
+        print(metrics_markdown(server.metrics,
+                               title=f"{plan.name} serving metrics"))
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    plan = _serve_plan(args)
+    config = LoadgenConfig(
+        mode=args.mode, requests=args.requests, concurrency=args.concurrency,
+        rate=args.rate, samples=args.samples,
+        deadline_s=(args.deadline_ms / 1e3
+                    if args.deadline_ms is not None else None),
+        seed=args.seed)
+    with InferenceServer(plan, _server_config(args)) as server:
+        report = run_loadgen(server, config)
+        stats = server.stats()
+    if args.json:
+        doc = report.to_dict()
+        doc["server"] = stats
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if report.errors == 0 else 1
+    print(report.summary())
+    print()
+    rows = [[name, f"{value:g}"] for name, value in stats.items()
+            if name.startswith("serve.")]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{plan.name} server metrics"))
+    return 0 if report.errors == 0 else 1
 
 
 def _cmd_trace(args) -> int:
@@ -327,9 +411,12 @@ def _cmd_bench(args) -> int:
             models = [args.model] if args.model else None
             rows = figure11(models=models, batches=(args.batch,), hw=args.hw,
                             repeats=args.repeats)
-            print(format_table(["model", "variant", "batch", "time ms"],
-                               [[r.model, r.variant, r.batch, r.seconds * 1e3]
-                                for r in rows], title="Figure 11"))
+            print(format_table(
+                ["model", "variant", "batch", "time ms", "p50 ms", "p95 ms",
+                 "p99 ms"],
+                [[r.model, r.variant, r.batch, r.seconds * 1e3,
+                  r.p50_seconds * 1e3, r.p95_seconds * 1e3,
+                  r.p99_seconds * 1e3] for r in rows], title="Figure 11"))
             print(f"overhead ratios: {overhead_ratios(rows)}")
         else:
             models = [args.model] if args.model else None
@@ -440,6 +527,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-optimize", action="store_true", dest="no_optimize",
                    help="trace the raw model without decompose+TeMCO")
     p.set_defaults(fn=_cmd_trace)
+
+    def serve_flags(p):
+        p.add_argument("--workers", type=int, default=1,
+                       help="inference worker threads (default 1)")
+        p.add_argument("--max-queue", type=int, default=64, dest="max_queue",
+                       help="admission queue bound in requests; a full "
+                            "queue rejects with Overloaded (default 64)")
+        p.add_argument("--max-wait-ms", type=float, default=2.0,
+                       dest="max_wait_ms",
+                       help="micro-batch coalescing window (default 2 ms)")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       dest="deadline_ms",
+                       help="default per-request deadline; expired requests "
+                            "are shed (default: no deadline)")
+        p.add_argument("--no-batching", action="store_true",
+                       dest="no_batching",
+                       help="serve one request per micro-batch (the "
+                            "baseline dynamic batching is compared against)")
+        p.add_argument("--method", choices=("tucker", "cp", "tt"),
+                       default="tucker",
+                       help="decomposition method for the --tuned plan lookup")
+        p.add_argument("--ratio", type=float, default=0.1,
+                       help="decomposition ratio for the --tuned plan lookup")
+
+    p = sub.add_parser("serve", help="dynamic-batching inference server "
+                                     "with a JSON/HTTP frontend")
+    common(p)
+    serve_flags(p)
+    tune_flags(p, no_tune=False)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8100,
+                   help="listen port; 0 picks an ephemeral port")
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve for N seconds then exit (default: forever)")
+    p.add_argument("--log-level", dest="log_level", default=None,
+                   choices=("debug", "info", "warning", "error"))
+    p.set_defaults(fn=_obs_wrap(_cmd_serve))
+
+    p = sub.add_parser("loadgen", help="drive an in-process server with "
+                                       "synthetic load; report p50/p95/p99")
+    common(p)
+    serve_flags(p)
+    tune_flags(p, no_tune=False)
+    p.add_argument("--mode", choices=("closed", "open"), default="closed",
+                   help="closed: fixed concurrency; open: Poisson arrivals")
+    p.add_argument("--requests", type=int, default=64)
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="closed-loop client count (default 4)")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="open-loop arrival rate, req/s (default 200)")
+    p.add_argument("--samples", type=int, default=1,
+                   help="samples per request (default 1)")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON (for scripts/CI)")
+    p.add_argument("--log-level", dest="log_level", default=None,
+                   choices=("debug", "info", "warning", "error"))
+    p.set_defaults(fn=_obs_wrap(_cmd_loadgen))
 
     p = sub.add_parser("export", help="export DOT graph / CSV timeline / "
                                       "Markdown memory report")

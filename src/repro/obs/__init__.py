@@ -29,7 +29,7 @@ See ``docs/observability.md`` for the event taxonomy.
 from .events import CounterSample, DecisionEvent, InstantEvent, SpanRecord
 from .export import (chrome_trace_events, jsonl_records, to_chrome_trace,
                      write_chrome_trace, write_jsonl, write_trace)
-from .metrics import MetricsRegistry
+from .metrics import Histogram, MetricsRegistry
 from .tracer import (NOOP_TRACER, NoopTracer, Tracer, configure_logging,
                      get_tracer, set_tracer, use_tracer)
 
@@ -38,6 +38,7 @@ __all__ = [
     "InstantEvent",
     "CounterSample",
     "DecisionEvent",
+    "Histogram",
     "MetricsRegistry",
     "Tracer",
     "NoopTracer",

@@ -1,43 +1,148 @@
-"""Counter/gauge registry summarizing one compile-or-run session.
+"""Counter/gauge/histogram registry summarizing one compile-or-run session.
 
 The :class:`MetricsRegistry` is deliberately tiny: monotonically
-increasing counters (``inc``) and last-write-wins gauges (``gauge``),
-with a stable snapshot for reports.  Every :class:`~repro.obs.Tracer`
-owns one; passes and the runtime record headline numbers into it so a
-single Markdown table can summarize a session without replaying the
-full event stream.
+increasing counters (``inc``), last-write-wins gauges (``gauge``), and
+value-distribution histograms (``observe``), with a stable snapshot for
+reports.  Every :class:`~repro.obs.Tracer` owns one; passes and the
+runtime record headline numbers into it so a single Markdown table can
+summarize a session without replaying the full event stream.
+
+All mutators and ``snapshot`` take an internal lock, so one registry
+can be shared by the serving layer's worker threads
+(:mod:`repro.serve`) without torn read-modify-write updates.
 """
 
 from __future__ import annotations
 
+import random
+import threading
 from dataclasses import dataclass, field
 
-__all__ = ["MetricsRegistry"]
+__all__ = ["Histogram", "MetricsRegistry"]
+
+#: histogram quantiles flattened into :meth:`MetricsRegistry.snapshot`
+_SNAPSHOT_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+class Histogram:
+    """Streaming value distribution with bounded memory.
+
+    Keeps exact ``count``/``sum``/``min``/``max`` plus a uniform
+    reservoir of up to ``max_samples`` observations (Vitter's
+    algorithm R, seeded for reproducibility) that quantile queries are
+    answered from.  Below ``max_samples`` observations the quantiles
+    are exact.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_max_samples",
+                 "_rng")
+
+    def __init__(self, max_samples: int = 4096, seed: int = 0) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+        self._max_samples = max_samples
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if len(self._samples) < self._max_samples:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._max_samples:
+                self._samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linearly interpolated quantile over the reservoir, ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+    def snapshot(self) -> dict[str, float]:
+        """count/mean/min/max plus the standard latency quantiles."""
+        if not self.count:
+            return {"count": 0}
+        out = {"count": float(self.count), "mean": self.mean,
+               "min": self.min, "max": self.max}
+        for label, q in _SNAPSHOT_QUANTILES:
+            out[label] = self.quantile(q)
+        return out
 
 
 @dataclass
 class MetricsRegistry:
-    """Named counters and gauges."""
+    """Named counters, gauges and histograms (thread-safe)."""
 
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
 
     def inc(self, name: str, value: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
 
     def get(self, name: str, default: float = 0) -> float:
-        if name in self.counters:
-            return self.counters[name]
-        return self.gauges.get(name, default)
+        with self._lock:
+            if name in self.counters:
+                return self.counters[name]
+            return self.gauges.get(name, default)
+
+    def quantiles(self, name: str) -> dict[str, float]:
+        """Snapshot of one histogram (empty stats if never observed)."""
+        with self._lock:
+            hist = self.histograms.get(name)
+            return hist.snapshot() if hist is not None else {"count": 0}
 
     def snapshot(self) -> dict[str, float]:
-        """Counters and gauges merged into one sorted mapping."""
-        merged = {**self.counters, **self.gauges}
-        return dict(sorted(merged.items()))
+        """Counters, gauges and flattened histogram stats, sorted.
+
+        Histogram entries appear as ``{name}.{stat}`` (count, mean,
+        min, max, p50, p95, p99) so report emitters need no special
+        casing.
+        """
+        with self._lock:
+            merged = {**self.counters, **self.gauges}
+            for name, hist in self.histograms.items():
+                for stat, value in hist.snapshot().items():
+                    merged[f"{name}.{stat}"] = value
+            return dict(sorted(merged.items()))
 
     def clear(self) -> None:
-        self.counters.clear()
-        self.gauges.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()

@@ -12,15 +12,18 @@ Two implementations share one duck-typed API:
 The *active* tracer is ambient state managed with
 :func:`get_tracer` / :func:`set_tracer` / :func:`use_tracer`, so the
 compiler passes and the executor pick it up without every call site
-having to thread a parameter through.  The ambient stack is
-process-global (not thread-local): install a tracer around a
-single-threaded compile/run section, not around a
-:class:`~repro.runtime.parallel.ParallelRunner` fan-out.
+having to thread a parameter through.  :func:`set_tracer` installs a
+*process-wide* default; :func:`use_tracer` pushes onto a
+*thread-local* stack, so concurrent workers (the
+:mod:`repro.serve` server threads, a
+:class:`~repro.runtime.parallel.ParallelRunner` fan-out) can each
+scope their own tracer without clobbering each other.
 """
 
 from __future__ import annotations
 
 import logging
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
@@ -169,27 +172,47 @@ class Tracer(NoopTracer):
 # ambient tracer
 # ---------------------------------------------------------------------------
 
-_STACK: list[NoopTracer] = [NOOP_TRACER]
+#: process-wide default, replaced by :func:`set_tracer`
+_DEFAULT_TRACER: NoopTracer = NOOP_TRACER
+
+
+class _AmbientStack(threading.local):
+    """Per-thread overlay of :func:`use_tracer` installations."""
+
+    def __init__(self) -> None:
+        self.stack: list[NoopTracer] = []
+
+
+_AMBIENT = _AmbientStack()
 
 
 def get_tracer() -> NoopTracer:
-    """The currently active tracer (the no-op singleton by default)."""
-    return _STACK[-1]
+    """The currently active tracer (the no-op singleton by default).
+
+    Resolution order: the calling thread's innermost :func:`use_tracer`
+    scope, else the process-wide default set by :func:`set_tracer`.
+    """
+    stack = _AMBIENT.stack
+    return stack[-1] if stack else _DEFAULT_TRACER
 
 
 def set_tracer(tracer: NoopTracer | None) -> None:
-    """Replace the active tracer; ``None`` restores the no-op default."""
-    _STACK[-1] = tracer if tracer is not None else NOOP_TRACER
+    """Replace the process-wide default tracer; ``None`` restores the
+    no-op default.  Threads inside a :func:`use_tracer` scope keep
+    their scoped tracer."""
+    global _DEFAULT_TRACER
+    _DEFAULT_TRACER = tracer if tracer is not None else NOOP_TRACER
 
 
 @contextmanager
 def use_tracer(tracer: NoopTracer) -> Iterator[NoopTracer]:
-    """Install ``tracer`` as the ambient tracer for the ``with`` body."""
-    _STACK.append(tracer)
+    """Install ``tracer`` as the ambient tracer for the ``with`` body
+    (visible only to the installing thread)."""
+    _AMBIENT.stack.append(tracer)
     try:
         yield tracer
     finally:
-        _STACK.pop()
+        _AMBIENT.stack.pop()
 
 
 # ---------------------------------------------------------------------------

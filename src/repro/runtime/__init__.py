@@ -7,7 +7,8 @@ from .executor import ExecutionResult, NodeTiming, execute
 from .memory_profile import MemoryEvent, MemoryProfile
 from .parallel import ParallelRunner, shard_batch
 from .report import (compare_markdown, metrics_markdown, op_breakdown,
-                     profile_markdown, save_report, timeline_csv)
+                     profile_markdown, save_report, timeline_csv,
+                     timing_markdown)
 
 __all__ = [
     "AllocationError",
@@ -31,4 +32,5 @@ __all__ = [
     "compare_markdown",
     "op_breakdown",
     "save_report",
+    "timing_markdown",
 ]

@@ -43,6 +43,28 @@ class TimingResult:
     def best(self) -> float:
         return min(self.seconds_per_run)
 
+    def percentile(self, q: float) -> float:
+        """Linearly interpolated percentile, ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.seconds_per_run)
+        pos = q / 100.0 * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
 
 class InferenceSession:
     """Run a (possibly TeMCO-optimized) model graph.

@@ -13,10 +13,11 @@ from pathlib import Path
 
 from ..ir.graph import Graph
 from ..obs.metrics import MetricsRegistry
+from .engine import TimingResult
 from .memory_profile import MemoryProfile
 
 __all__ = ["timeline_csv", "profile_markdown", "compare_markdown",
-           "op_breakdown", "metrics_markdown"]
+           "op_breakdown", "metrics_markdown", "timing_markdown"]
 
 MIB = 1024 * 1024
 
@@ -95,6 +96,21 @@ def metrics_markdown(registry: MetricsRegistry,
         mib = f"{value / MIB:.3f}" if name.endswith("_bytes") else ""
         shown = f"{value:g}" if isinstance(value, float) else str(value)
         lines.append(f"| `{name}` | {shown} | {mib} |")
+    return "\n".join(lines) + "\n"
+
+
+def timing_markdown(timing: TimingResult,
+                    title: str = "Timing") -> str:
+    """A :class:`~repro.runtime.engine.TimingResult` as one Markdown table.
+
+    Reports the location statistics plus the tail percentiles
+    (p50/p95/p99) that serving SLOs are written against.
+    """
+    lines = [f"## {title}", "",
+             f"- runs: {len(timing.seconds_per_run)}", "",
+             "| stat | ms |", "|---|---|"]
+    for stat in ("best", "median", "mean", "p50", "p95", "p99"):
+        lines.append(f"| {stat} | {getattr(timing, stat) * 1e3:.3f} |")
     return "\n".join(lines) + "\n"
 
 

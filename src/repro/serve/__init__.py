@@ -1,0 +1,56 @@
+"""Serving: dynamic batching, backpressure, deadlines, load generation.
+
+The first subsystem that exercises the compiler's output under
+concurrency.  Four moving parts:
+
+- :mod:`repro.serve.batcher` — pure packing logic that coalesces /
+  splits / zero-pads requests against the graph's static batch,
+- :mod:`repro.serve.server` — :class:`InferenceServer`: a bounded
+  admission queue with typed :class:`Overloaded` backpressure,
+  per-request deadlines with shed-on-expiry, and worker threads each
+  owning a warm :class:`~repro.runtime.engine.InferenceSession`,
+- :mod:`repro.serve.loadgen` — open-/closed-loop load generation
+  reporting throughput and p50/p95/p99 latency,
+- :mod:`repro.serve.httpd` — a stdlib-only JSON/HTTP frontend
+  (``/infer``, ``/healthz``, ``/stats``).
+
+Quick use::
+
+    from repro.serve import InferenceServer, ServerConfig
+
+    with InferenceServer(plan, ServerConfig(num_workers=2)) as server:
+        outputs = server.infer({"x": one_sample}, timeout=5.0)
+
+See ``docs/serving.md`` for the batching policy and overload
+semantics, and ``repro serve`` / ``repro loadgen`` on the CLI.
+"""
+
+from .batcher import Segment, Shard, assemble, request_samples, scatter
+from .httpd import ServeHTTPD, serve_http
+from .loadgen import (LoadgenConfig, LoadgenReport, request_inputs,
+                      run_loadgen)
+from .server import (DeadlineExceeded, InferenceServer, Overloaded,
+                     ServeError, ServeFuture, ServerClosed, ServerConfig,
+                     resolve_plan)
+
+__all__ = [
+    "Segment",
+    "Shard",
+    "request_samples",
+    "assemble",
+    "scatter",
+    "ServeError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "ServerClosed",
+    "ServeFuture",
+    "ServerConfig",
+    "InferenceServer",
+    "resolve_plan",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "request_inputs",
+    "run_loadgen",
+    "ServeHTTPD",
+    "serve_http",
+]

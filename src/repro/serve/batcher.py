@@ -1,0 +1,168 @@
+"""Dynamic micro-batching: pack requests into graph-batch-sized shards.
+
+The IR has static shapes, so a servable plan is compiled at one batch
+size ``B``.  Requests arrive carrying 1..k samples each; this module
+is the pure packing logic between the two:
+
+- :func:`request_samples` validates a request's inputs against the
+  graph signature and returns its sample count,
+- :func:`assemble` walks admitted requests in FIFO order and packs
+  their samples into :class:`Shard`\\ s of exactly ``B`` samples —
+  **coalescing** small requests into one shard, **splitting** requests
+  larger than ``B`` across several, and **zero-padding** the tail
+  shard up to ``B``,
+- :func:`scatter` routes a shard's outputs back into per-request
+  result buffers.
+
+Padding cannot change numerics: every kernel in the zoo is
+sample-independent along the batch axis, and the executor runs the
+same static plan it would for a caller-assembled batch, so a served
+sample is bitwise-identical to :meth:`InferenceSession.run` on the
+identically assembled batch (the serve test suite asserts this).
+
+Everything here is pure data plumbing — no locks, no clocks — so the
+queueing policy in :mod:`repro.serve.server` stays separately
+testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..ir.graph import Graph
+
+__all__ = ["Segment", "Shard", "request_samples", "assemble", "scatter"]
+
+
+def request_samples(graph: Graph, inputs: dict[str, np.ndarray]) -> int:
+    """Validate ``inputs`` against ``graph``'s signature; return the
+    request's sample count.
+
+    Every graph input must be present with the graph's per-sample
+    shape (all dims after the batch axis) and a shared leading batch
+    dimension ``k >= 1``.
+    """
+    expected = {v.name: v for v in graph.inputs}
+    missing = sorted(set(expected) - set(inputs))
+    if missing:
+        raise ValueError(f"request missing inputs {missing}; "
+                         f"graph inputs: {sorted(expected)}")
+    extra = sorted(set(inputs) - set(expected))
+    if extra:
+        raise ValueError(f"request has unknown inputs {extra}; "
+                         f"graph inputs: {sorted(expected)}")
+    counts = {}
+    for name, value in expected.items():
+        arr = inputs[name]
+        if arr.ndim != len(value.shape) or tuple(arr.shape[1:]) != value.shape[1:]:
+            raise ValueError(
+                f"input {name!r} has per-sample shape {tuple(arr.shape[1:])}, "
+                f"expected {value.shape[1:]}")
+        counts[name] = arr.shape[0]
+    if len(set(counts.values())) != 1:
+        raise ValueError(f"inconsistent sample counts across inputs: {counts}")
+    samples = next(iter(counts.values()))
+    if samples < 1:
+        raise ValueError("request carries zero samples")
+    return samples
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous run of a request's samples inside a shard."""
+
+    request: Any  #: opaque handle, carried through to :func:`scatter`
+    req_offset: int  #: first sample index within the request
+    shard_offset: int  #: first sample index within the shard
+    length: int
+
+
+@dataclass
+class Shard:
+    """One graph-batch worth of samples, padded to the static batch."""
+
+    inputs: dict[str, np.ndarray]
+    segments: list[Segment] = field(default_factory=list)
+    #: zero samples appended to reach the static batch
+    padding: int = 0
+
+    @property
+    def live_samples(self) -> int:
+        return sum(seg.length for seg in self.segments)
+
+
+def assemble(graph: Graph, requests: list[tuple[Any, dict[str, np.ndarray]]],
+             batch: int | None = None) -> list[Shard]:
+    """Pack ``(handle, inputs)`` requests into shards of the graph batch.
+
+    Requests are consumed in order; sample order inside the shard
+    stream is exactly admission order, so results are reproducible
+    from the request sequence alone.  The final shard is zero-padded
+    up to ``batch``.
+    """
+    if batch is None:
+        batch = graph.inputs[0].shape[0]
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+
+    # consume a queue of (handle, inputs, next sample offset, remaining
+    # samples), splitting large requests greedily across shards
+    pending = [(handle, inputs, 0, request_samples(graph, inputs))
+               for handle, inputs in requests]
+    shards: list[Shard] = []
+    i = 0
+    while i < len(pending):
+        segments: list[Segment] = []
+        sources: list[dict[str, np.ndarray]] = []
+        filled = 0
+        while filled < batch and i < len(pending):
+            handle, inputs, offset, remaining = pending[i]
+            take = min(remaining, batch - filled)
+            segments.append(Segment(request=handle, req_offset=offset,
+                                    shard_offset=filled, length=take))
+            sources.append(inputs)
+            filled += take
+            if take == remaining:
+                i += 1
+            else:
+                pending[i] = (handle, inputs, offset + take, remaining - take)
+        shard_inputs: dict[str, np.ndarray] = {}
+        for value in graph.inputs:
+            buf = np.zeros((batch,) + value.shape[1:], dtype=value.dtype.np)
+            for seg, inputs in zip(segments, sources):
+                buf[seg.shard_offset:seg.shard_offset + seg.length] = \
+                    inputs[value.name][seg.req_offset:seg.req_offset + seg.length]
+            shard_inputs[value.name] = buf
+        shards.append(Shard(inputs=shard_inputs, segments=segments,
+                            padding=batch - filled))
+    return shards
+
+
+def scatter(shard: Shard, outputs: dict[str, np.ndarray],
+            buffers: dict[Any, dict[str, np.ndarray]],
+            filled: dict[Any, int], totals: dict[Any, int]) -> list[Any]:
+    """Copy a shard's output slices into per-request result buffers.
+
+    ``buffers`` maps request handle -> output-name -> array of the
+    request's full sample count (allocated lazily here on first
+    touch); ``filled`` tracks samples scattered so far per handle and
+    ``totals`` the request's total.  Returns the handles whose results
+    became complete with this shard, in segment order.
+    """
+    completed: list[Any] = []
+    for seg in shard.segments:
+        out = buffers.setdefault(seg.request, {})
+        for name, arr in outputs.items():
+            buf = out.get(name)
+            if buf is None:
+                buf = out[name] = np.empty(
+                    (totals[seg.request],) + arr.shape[1:], dtype=arr.dtype)
+            buf[seg.req_offset:seg.req_offset + seg.length] = \
+                arr[seg.shard_offset:seg.shard_offset + seg.length]
+        filled[seg.request] = filled.get(seg.request, 0) + seg.length
+        if filled[seg.request] == totals[seg.request]:
+            completed.append(seg.request)
+    return completed

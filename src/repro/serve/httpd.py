@@ -1,0 +1,148 @@
+"""Minimal stdlib HTTP frontend for an :class:`InferenceServer`.
+
+Three endpoints, JSON in/out, no dependencies beyond the standard
+library (the repo's no-new-deps rule):
+
+- ``GET /healthz`` — liveness: 200 ``{"status": "ok", ...}`` while the
+  server accepts work, 503 once closed or a worker died,
+- ``GET /stats`` — the server's metrics snapshot (queue depth,
+  latency/batch histograms, shed/reject counters),
+- ``POST /infer`` — body ``{"inputs": {name: nested-list}, optional
+  "deadline_ms": float}``; replies ``{"outputs": {...},
+  "latency_ms": float}``.  Overload maps to **429**, an expired
+  deadline to **504**, malformed requests to **400**, a closed server
+  to **503** — the typed overload semantics on the wire.
+
+JSON tensors are the simplest thing that round-trips everywhere; for
+throughput benchmarking use the in-process
+:mod:`repro.serve.loadgen`, which skips serialization entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from .server import (DeadlineExceeded, InferenceServer, Overloaded,
+                     ServerClosed)
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["ServeHTTPD", "serve_http"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    #: set by :func:`serve_http` on the handler subclass
+    inference_server: InferenceServer
+
+    def log_message(self, fmt: str, *args) -> None:  # route to logging
+        logger.debug("http: " + fmt, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        server = self.inference_server
+        if self.path == "/healthz":
+            if server.healthy():
+                self._reply(200, {"status": "ok",
+                                  "model": server.graph.name,
+                                  "workers": server.config.num_workers,
+                                  "graph_batch": server.graph_batch})
+            else:
+                self._reply(503, {"status": "unavailable"})
+        elif self.path == "/stats":
+            self._reply(200, {"stats": server.stats()})
+        else:
+            self._reply(404, {"error": f"no such endpoint {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/infer":
+            self._reply(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        server = self.inference_server
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            doc = json.loads(self.rfile.read(length))
+            raw = doc["inputs"]
+            if not isinstance(raw, dict):
+                raise ValueError("'inputs' must be an object")
+            dtypes = {v.name: v.dtype.np for v in server.graph.inputs}
+            inputs = {name: np.asarray(arr, dtype=dtypes.get(name))
+                      for name, arr in raw.items()}
+            deadline_ms = doc.get("deadline_ms")
+            deadline_s = None if deadline_ms is None else float(deadline_ms) / 1e3
+        except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"bad request: {exc}"})
+            return
+        try:
+            future = server.submit(inputs, deadline_s=deadline_s)
+            outputs = future.result()
+        except Overloaded as exc:
+            self._reply(429, {"error": str(exc)})
+        except DeadlineExceeded as exc:
+            self._reply(504, {"error": str(exc)})
+        except ServerClosed as exc:
+            self._reply(503, {"error": str(exc)})
+        except ValueError as exc:
+            self._reply(400, {"error": str(exc)})
+        else:
+            self._reply(200, {
+                "outputs": {name: arr.tolist()
+                            for name, arr in outputs.items()},
+                "latency_ms": (future.latency_s or 0.0) * 1e3})
+
+
+class ServeHTTPD:
+    """Owns the listening socket + acceptor thread for one server."""
+
+    def __init__(self, server: InferenceServer, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        handler = type("BoundHandler", (_Handler,),
+                       {"inference_server": server})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound (host, port) — port is concrete even when 0 was asked."""
+        return self.httpd.server_address[:2]
+
+    def start(self) -> "ServeHTTPD":
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        name="repro-serve-http", daemon=True)
+        self._thread.start()
+        host, port = self.address
+        logger.info("http frontend listening on %s:%d", host, port)
+        return self
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServeHTTPD":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_http(server: InferenceServer, host: str = "127.0.0.1",
+               port: int = 0) -> ServeHTTPD:
+    """Start the HTTP frontend for ``server``; returns the running
+    :class:`ServeHTTPD` (close it to release the socket)."""
+    return ServeHTTPD(server, host, port).start()

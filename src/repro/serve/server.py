@@ -1,0 +1,410 @@
+"""The inference server: bounded admission, micro-batching workers.
+
+:class:`InferenceServer` turns a compiled graph into a servable unit:
+
+- **admission** — :meth:`submit` appends to a *bounded* queue; a full
+  queue raises :class:`Overloaded` immediately (typed backpressure,
+  never unbounded growth, never a hang),
+- **deadlines** — each request may carry a deadline; requests that
+  expire while queued are shed at dequeue time (their future raises
+  :class:`DeadlineExceeded`) instead of wasting a batch slot,
+- **dynamic batching** — each worker thread drains the queue into up
+  to one graph-batch of samples, waiting at most
+  ``ServerConfig.max_wait_s`` after the first request for co-riders,
+  then runs the shard(s) on its own warm
+  :class:`~repro.runtime.engine.InferenceSession`,
+- **observability** — queue depth gauge, latency/batch-occupancy
+  histograms, shed/reject counters, all in a
+  :class:`~repro.obs.MetricsRegistry` (:meth:`stats`).
+
+The server serves whatever graph it is given; pair it with
+:func:`resolve_plan` to load the autotuned compiled plan from the
+:mod:`repro.tune` cache at startup so every request reuses the tuned
+tiles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..obs import MetricsRegistry, NOOP_TRACER
+from ..runtime.engine import InferenceSession
+from .batcher import Shard, assemble, request_samples, scatter
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["ServeError", "Overloaded", "DeadlineExceeded", "ServerClosed",
+           "ServeFuture", "ServerConfig", "InferenceServer", "resolve_plan"]
+
+
+class ServeError(RuntimeError):
+    """Base class for typed serving failures."""
+
+
+class Overloaded(ServeError):
+    """Admission queue full: the caller should back off and retry."""
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired before it could be served."""
+
+
+class ServerClosed(ServeError):
+    """The server is shut down (or was, before the request completed)."""
+
+
+class ServeFuture:
+    """Completion handle for one submitted request."""
+
+    def __init__(self, request_id: int, samples: int) -> None:
+        self.request_id = request_id
+        self.samples = samples
+        self._event = threading.Event()
+        self._outputs: dict[str, np.ndarray] | None = None
+        self._error: BaseException | None = None
+        #: wall-clock seconds from admission to completion (set on resolve)
+        self.latency_s: float | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> dict[str, np.ndarray]:
+        """Block for the outputs; raises the typed error on failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not done after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._outputs is not None
+        return self._outputs
+
+    def _resolve(self, outputs: dict[str, np.ndarray], latency_s: float) -> None:
+        self._outputs = outputs
+        self.latency_s = latency_s
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Queueing / batching / SLO knobs of one server."""
+
+    num_workers: int = 1
+    #: admission bound, in requests; the backpressure knob
+    max_queue: int = 64
+    #: samples per micro-batch; None = the graph's static batch
+    max_batch: int | None = None
+    #: how long a worker holds the first request open for co-riders
+    max_wait_s: float = 0.002
+    #: deadline applied to requests submitted without one (None = none)
+    default_deadline_s: float | None = None
+    #: False = no coalescing: one request per micro-batch (the
+    #: one-request-at-a-time baseline the batching A/B test compares)
+    batching: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+
+
+@dataclass(eq=False)  # identity hash: requests key scatter buffers
+class _Request:
+    """One admitted request (internal work item)."""
+
+    id: int
+    inputs: dict[str, np.ndarray]
+    samples: int
+    future: ServeFuture
+    enqueued_at: float
+    deadline_at: float | None  #: monotonic absolute deadline
+
+
+class InferenceServer:
+    """Serve a compiled graph from a pool of warm sessions.
+
+    Use as a context manager, or call :meth:`start` / :meth:`close`::
+
+        with InferenceServer(plan, ServerConfig(num_workers=2)) as server:
+            future = server.submit({"x": batch_of_one})
+            outputs = future.result(timeout=5.0)
+    """
+
+    def __init__(self, graph: Graph, config: ServerConfig | None = None, *,
+                 metrics: MetricsRegistry | None = None) -> None:
+        graph.validate()
+        self.graph = graph
+        self.config = config or ServerConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.graph_batch = graph.inputs[0].shape[0]
+        self.max_batch = self.config.max_batch or self.graph_batch
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._queue: deque[_Request] = deque()
+        self._workers: list[threading.Thread] = []
+        self._closed = False
+        self._started = False
+        self._in_flight = 0
+        self._ids = itertools.count()
+        # one warm session per worker: sessions keep per-run mutable
+        # state (last_result), so they are per-thread, while the
+        # read-only graph and its weights are shared
+        self._sessions = [
+            InferenceSession(graph, tracer=NOOP_TRACER)
+            for _ in range(self.config.num_workers)]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "InferenceServer":
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("server already closed")
+            if self._started:
+                return self
+            self._started = True
+        for index in range(self.config.num_workers):
+            worker = threading.Thread(
+                target=self._worker_loop, args=(self._sessions[index],),
+                name=f"repro-serve-{index}", daemon=True)
+            worker.start()
+            self._workers.append(worker)
+        logger.info("serving %s: %d worker(s), batch %d, queue bound %d, "
+                    "max wait %.1f ms, batching %s", self.graph.name,
+                    self.config.num_workers, self.max_batch,
+                    self.config.max_queue, self.config.max_wait_s * 1e3,
+                    "on" if self.config.batching else "off")
+        return self
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop accepting work, drain workers, reject queued requests."""
+        with self._not_empty:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._queue)
+            self._queue.clear()
+            self._gauge_depth_locked()
+            self._not_empty.notify_all()
+        for request in pending:
+            request.future._reject(ServerClosed(
+                f"server closed with request {request.id} still queued"))
+            self.metrics.inc("serve.rejected_on_close")
+        for worker in self._workers:
+            worker.join(timeout)
+        self._workers.clear()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def healthy(self) -> bool:
+        """Accepting work and every worker thread alive."""
+        if self._closed or not self._started:
+            return False
+        return all(w.is_alive() for w in self._workers)
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, inputs: dict[str, np.ndarray] | np.ndarray, *,
+               deadline_s: float | None = None) -> ServeFuture:
+        """Admit one request; returns its :class:`ServeFuture`.
+
+        Raises :class:`Overloaded` when the admission queue is at
+        ``max_queue`` (the request is *not* enqueued) and
+        :class:`ServerClosed` after :meth:`close`.
+        """
+        if isinstance(inputs, np.ndarray):
+            if len(self.graph.inputs) != 1:
+                raise ValueError(
+                    f"graph has {len(self.graph.inputs)} inputs; pass a dict")
+            inputs = {self.graph.inputs[0].name: inputs}
+        samples = request_samples(self.graph, inputs)
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        now = time.monotonic()
+        request_id = next(self._ids)
+        request = _Request(
+            id=request_id, inputs=inputs, samples=samples,
+            future=ServeFuture(request_id, samples), enqueued_at=now,
+            deadline_at=None if deadline_s is None else now + deadline_s)
+        with self._not_empty:
+            if self._closed:
+                raise ServerClosed("server is closed")
+            if len(self._queue) >= self.config.max_queue:
+                self.metrics.inc("serve.rejected")
+                raise Overloaded(
+                    f"admission queue full ({self.config.max_queue} requests); "
+                    f"retry with backoff")
+            self._queue.append(request)
+            self.metrics.inc("serve.requests")
+            self._gauge_depth_locked()
+            self._not_empty.notify()
+        return request.future
+
+    def infer(self, inputs: dict[str, np.ndarray] | np.ndarray, *,
+              deadline_s: float | None = None,
+              timeout: float | None = None) -> dict[str, np.ndarray]:
+        """Synchronous convenience: :meth:`submit` + wait for the result."""
+        return self.submit(inputs, deadline_s=deadline_s).result(timeout)
+
+    # -- worker side ---------------------------------------------------
+
+    def _gauge_depth_locked(self) -> None:
+        self.metrics.gauge("serve.queue_depth", len(self._queue))
+
+    def _shed(self, request: _Request, now: float) -> None:
+        overdue = now - (request.deadline_at or now)
+        request.future._reject(DeadlineExceeded(
+            f"request {request.id} expired {overdue * 1e3:.1f} ms before "
+            f"service"))
+        self.metrics.inc("serve.shed")
+
+    def _pop_live_locked(self, now: float) -> _Request | None:
+        """Pop the next unexpired request, shedding expired ones."""
+        while self._queue:
+            request = self._queue.popleft()
+            if request.deadline_at is not None and now > request.deadline_at:
+                self._shed(request, now)
+                continue
+            return request
+        return None
+
+    def _take_batch(self) -> list[_Request] | None:
+        """Block for the next micro-batch; None when the server closes.
+
+        Takes the first live request, then keeps the batch open for up
+        to ``max_wait_s`` (or until ``max_batch`` samples) for
+        co-riders.  With batching off, returns single requests.
+        """
+        with self._not_empty:
+            while True:
+                first = self._pop_live_locked(time.monotonic())
+                if first is not None:
+                    break
+                self._gauge_depth_locked()
+                if self._closed:
+                    return None
+                self._not_empty.wait()
+            taken = [first]
+            total = first.samples
+            if self.config.batching:
+                wait_until = time.monotonic() + self.config.max_wait_s
+                while total < self.max_batch and not self._closed:
+                    request = self._pop_live_locked(time.monotonic())
+                    if request is not None:
+                        taken.append(request)
+                        total += request.samples
+                        continue
+                    remaining = wait_until - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(remaining)
+            self._gauge_depth_locked()
+            self._in_flight += len(taken)
+        return taken
+
+    def _worker_loop(self, session: InferenceSession) -> None:
+        while True:
+            taken = self._take_batch()
+            if taken is None:
+                return
+            try:
+                self._run_batch(session, taken)
+            except BaseException as exc:  # noqa: BLE001 — fail the batch, not the server
+                logger.exception("serve worker failed on a batch")
+                for request in taken:
+                    if not request.future.done():
+                        request.future._reject(
+                            ServeError(f"inference failed: {exc!r}"))
+                self.metrics.inc("serve.failed", len(taken))
+            finally:
+                with self._lock:
+                    self._in_flight -= len(taken)
+
+    def _run_batch(self, session: InferenceSession,
+                   taken: list[_Request]) -> None:
+        shards = assemble(self.graph,
+                          [(request, request.inputs) for request in taken],
+                          batch=self.graph_batch)
+        buffers: dict[_Request, dict[str, np.ndarray]] = {}
+        filled: dict[_Request, int] = {}
+        totals = {request: request.samples for request in taken}
+        now = time.monotonic()
+        self.metrics.observe("serve.batch_requests", len(taken))
+        self.metrics.observe(
+            "serve.batch_samples", sum(r.samples for r in taken))
+        for shard in shards:
+            outputs = session.run(shard.inputs).outputs
+            self.metrics.inc("serve.batches")
+            self.metrics.inc("serve.padded_samples", shard.padding)
+            now = time.monotonic()
+            for request in scatter(shard, outputs, buffers, filled, totals):
+                latency = now - request.enqueued_at
+                request.future._resolve(buffers.pop(request), latency)
+                self.metrics.inc("serve.completed")
+                self.metrics.observe("serve.latency_ms", latency * 1e3)
+                if (request.deadline_at is not None
+                        and now > request.deadline_at):
+                    self.metrics.inc("serve.late_completions")
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Point-in-time health/metrics snapshot (counters, gauges,
+        latency and batch-occupancy quantiles)."""
+        snapshot = self.metrics.snapshot()
+        with self._lock:
+            snapshot["serve.queue_depth"] = float(len(self._queue))
+            snapshot["serve.in_flight"] = float(self._in_flight)
+        snapshot["serve.workers"] = float(self.config.num_workers)
+        snapshot["serve.graph_batch"] = float(self.graph_batch)
+        return snapshot
+
+
+def resolve_plan(graph: Graph, *, tuned: bool = False, cache_dir=None,
+                 method: str = "tucker", ratio: float = 0.1,
+                 seed: int = 0) -> tuple[Graph, bool]:
+    """The servable plan for ``graph``: the autotuned compiled plan
+    from the :mod:`repro.tune` cache when ``tuned`` and the cache
+    hits, else ``graph`` itself.  Returns ``(plan, cache_hit)``.
+    """
+    if not tuned:
+        return graph, False
+    from ..decompose import DecompositionConfig
+    from ..tune import TuneCache, load_cached_plan
+
+    cached = load_cached_plan(
+        graph, cache=TuneCache(cache_dir),
+        decomposition=DecompositionConfig(method=method, ratio=ratio,
+                                          seed=seed))
+    if cached is None:
+        logger.warning("tune cache miss for %s: serving the raw graph "
+                       "(run `repro tune %s` first)", graph.name, graph.name)
+        return graph, False
+    plan, record = cached
+    logger.info("serving cached compiled plan for %s (key %s, %d tuned "
+                "sites)", graph.name, record.key, len(record.sites))
+    return plan, True

@@ -171,6 +171,54 @@ class TestTuneCLI:
                    if e["ph"] == "X")
 
 
+class TestServeCLI:
+    def test_loadgen_json_report(self, capsys):
+        assert main(["loadgen", "unet_small", "--batch", "2", "--hw", "16",
+                     "--requests", "6", "--concurrency", "3", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mode"] == "closed"
+        assert doc["offered"] == 6 and doc["completed"] == 6
+        assert doc["rejected"] == 0 and doc["errors"] == 0
+        assert set(doc["latency_ms"]) >= {"p50", "p95", "p99"}
+        assert doc["server"]["serve.completed"] == 6
+        assert doc["server"]["serve.batch_samples.max"] >= 1
+
+    def test_loadgen_text_summary(self, capsys):
+        assert main(["loadgen", "unet_small", "--batch", "2", "--hw", "16",
+                     "--requests", "4", "--concurrency", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "server metrics" in out and "serve.batches" in out
+
+    def test_loadgen_open_mode(self, capsys):
+        assert main(["loadgen", "unet_small", "--batch", "2", "--hw", "16",
+                     "--mode", "open", "--requests", "4", "--rate", "500",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mode"] == "open"
+        assert doc["completed"] + doc["rejected"] + doc["shed"] == 4
+
+    def test_loadgen_no_batching_runs_one_request_per_batch(self, capsys):
+        assert main(["loadgen", "unet_small", "--batch", "2", "--hw", "16",
+                     "--requests", "4", "--concurrency", "4",
+                     "--no-batching", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["server"]["serve.batches"] == 4
+
+    def test_loadgen_tuned_empty_cache_reports_miss(self, capsys, tmp_path):
+        assert main(["loadgen", "unet_small", "--batch", "2", "--hw", "16",
+                     "--requests", "2", "--concurrency", "2", "--tuned",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "tune cache miss" in capsys.readouterr().out
+
+    def test_run_prints_latency_percentiles(self, capsys):
+        assert main(["run", "alexnet", "--batch", "1", "--hw", "32",
+                     "--repeats", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "latency percentiles" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+
+
 class TestObservabilityCLI:
     def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
         out = tmp_path / "trace.json"

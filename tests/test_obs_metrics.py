@@ -1,0 +1,103 @@
+"""MetricsRegistry histograms + thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_exact_stats_below_reservoir_bound(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert h.quantile(0.5) == pytest.approx(2.5)
+
+    def test_quantile_interpolates(self):
+        h = Histogram()
+        for v in range(101):  # 0..100
+            h.observe(float(v))
+        assert h.quantile(0.95) == pytest.approx(95.0)
+        assert h.quantile(0.99) == pytest.approx(99.0)
+
+    def test_reservoir_bounds_memory(self):
+        h = Histogram(max_samples=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert len(h._samples) == 64
+        assert h.min == 0.0 and h.max == 9999.0
+        # the reservoir is a uniform sample: the median estimate must
+        # land well inside the range
+        assert 1000 < h.quantile(0.5) < 9000
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.mean == 0.0
+        assert h.snapshot() == {"count": 0}
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError, match="max_samples"):
+            Histogram(max_samples=0)
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram().quantile(1.5)
+
+    def test_snapshot_shape(self):
+        h = Histogram()
+        h.observe(10.0)
+        snap = h.snapshot()
+        assert set(snap) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+
+
+class TestRegistryHistograms:
+    def test_observe_creates_and_accumulates(self):
+        m = MetricsRegistry()
+        m.observe("latency_ms", 5.0)
+        m.observe("latency_ms", 15.0)
+        q = m.quantiles("latency_ms")
+        assert q["count"] == 2 and q["p50"] == pytest.approx(10.0)
+
+    def test_quantiles_of_unknown_histogram(self):
+        assert MetricsRegistry().quantiles("nope") == {"count": 0}
+
+    def test_snapshot_flattens_histograms_sorted(self):
+        m = MetricsRegistry()
+        m.inc("runs")
+        m.gauge("peak", 7)
+        m.observe("lat", 3.0)
+        snap = m.snapshot()
+        assert snap["runs"] == 1 and snap["peak"] == 7
+        assert snap["lat.count"] == 1 and snap["lat.p99"] == 3.0
+        assert list(snap) == sorted(snap)
+
+    def test_clear_drops_histograms(self):
+        m = MetricsRegistry()
+        m.observe("lat", 1.0)
+        m.clear()
+        assert m.snapshot() == {}
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_tear(self):
+        m = MetricsRegistry()
+        per_thread, threads = 2_000, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                m.inc("hits")
+                m.observe("lat", 1.0)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert m.get("hits") == per_thread * threads
+        assert m.quantiles("lat")["count"] == per_thread * threads

@@ -10,8 +10,9 @@ from repro.core import optimize
 from repro.decompose import DecompositionConfig, decompose_graph
 from repro.ir import save_dot, to_dot
 from repro.obs import MetricsRegistry
-from repro.runtime import (compare_markdown, execute, metrics_markdown,
-                           op_breakdown, profile_markdown, timeline_csv)
+from repro.runtime import (TimingResult, compare_markdown, execute,
+                           metrics_markdown, op_breakdown, profile_markdown,
+                           timeline_csv, timing_markdown)
 from repro.runtime.memory_profile import MemoryEvent, MemoryProfile
 
 from _graph_fixtures import make_chain_graph, make_skip_graph, random_input
@@ -96,3 +97,38 @@ class TestReports:
         assert "## M" in md
         assert "`executor.runs` | 2" in md
         assert "3.000" in md  # bytes metrics get a MiB column
+
+
+class TestTimingPercentiles:
+    def test_percentile_interpolates(self):
+        timing = TimingResult(seconds_per_run=[i / 1000 for i in range(101)])
+        assert timing.percentile(0) == 0.0
+        assert timing.percentile(100) == pytest.approx(0.1)
+        assert timing.p50 == pytest.approx(0.050)
+        assert timing.p95 == pytest.approx(0.095)
+        assert timing.p99 == pytest.approx(0.099)
+
+    def test_single_run_percentiles_collapse(self):
+        timing = TimingResult(seconds_per_run=[0.25])
+        assert timing.p50 == timing.p95 == timing.p99 == 0.25
+
+    def test_bad_percentile_rejected(self):
+        timing = TimingResult(seconds_per_run=[0.1])
+        with pytest.raises(ValueError, match="percentile"):
+            timing.percentile(101)
+        with pytest.raises(ValueError, match="percentile"):
+            timing.percentile(-1)
+
+    def test_percentiles_ordered(self):
+        times = list(np.random.default_rng(0).uniform(0.001, 0.1, size=40))
+        timing = TimingResult(seconds_per_run=times)
+        assert min(times) <= timing.p50 <= timing.p95 <= timing.p99 <= max(times)
+
+    def test_timing_markdown_table(self):
+        timing = TimingResult(seconds_per_run=[0.010, 0.020, 0.030])
+        md = timing_markdown(timing, title="T")
+        assert "## T" in md and "runs: 3" in md
+        for stat in ("best", "median", "mean", "p50", "p95", "p99"):
+            assert f"| {stat} |" in md
+        assert "| best | 10.000 |" in md
+        assert "| p50 | 20.000 |" in md

@@ -20,6 +20,19 @@ class TestShardBatch:
         inputs = {"x": np.arange(7).reshape(7, 1)}
         shards = shard_batch(inputs, 3)
         assert sum(s["x"].shape[0] for s in shards) == 7
+        # linspace bounds: sizes differ by at most one, order preserved
+        sizes = [s["x"].shape[0] for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+        np.testing.assert_array_equal(
+            np.concatenate([s["x"] for s in shards]), inputs["x"])
+
+    def test_uneven_split_never_returns_empty_shards(self):
+        for batch in range(1, 9):
+            for num in range(1, 9):
+                shards = shard_batch(
+                    {"x": np.arange(batch).reshape(batch, 1)}, num)
+                assert all(s["x"].shape[0] >= 1 for s in shards)
+                assert len(shards) == min(num, batch)
 
     def test_more_shards_than_batch(self):
         inputs = {"x": np.arange(2).reshape(2, 1)}
@@ -62,3 +75,49 @@ class TestParallelRunner:
         g = make_chain_graph()
         with pytest.raises(ValueError, match="num_workers"):
             ParallelRunner(g, num_workers=0)
+
+
+class TestParallelRunnerLifecycle:
+    def test_close_is_idempotent(self):
+        g = make_chain_graph(batch=2)
+        runner = ParallelRunner(g, num_workers=2)
+        runner.__enter__()
+        assert runner._pool is not None
+        runner.close()
+        assert runner._pool is None
+        runner.close()  # second close: no-op, no error
+        assert runner._pool is None
+
+    def test_close_without_enter_is_safe(self):
+        g = make_chain_graph(batch=2)
+        ParallelRunner(g, num_workers=2).close()
+
+    def test_runs_after_close_fall_back_to_local(self):
+        g = make_chain_graph(batch=2)
+        with ParallelRunner(g, num_workers=2) as runner:
+            pass
+        out = runner.run(random_input(g))
+        assert out[g.outputs[0].name].shape == g.outputs[0].shape
+
+    def test_reenter_after_close(self):
+        g = make_chain_graph(batch=2)
+        runner = ParallelRunner(g, num_workers=2)
+        big = {"x": np.random.default_rng(1).normal(
+            size=(4, 16, 12, 12)).astype(np.float32)}
+        with runner:
+            first = runner.run(big)
+        with runner:
+            second = runner.run(big)
+        np.testing.assert_array_equal(first[g.outputs[0].name],
+                                      second[g.outputs[0].name])
+
+    def test_worker_exception_propagates_through_pool_map(self):
+        g = make_chain_graph(batch=2)
+        bad = {"wrong_name": np.zeros((4, 16, 12, 12), np.float32)}
+        with ParallelRunner(g, num_workers=2) as runner:
+            with pytest.raises(KeyError, match="missing input"):
+                runner.run(bad)
+        # and identically on the poolless local path
+        runner = ParallelRunner(g, num_workers=2)
+        with pytest.raises(KeyError, match="missing input"):
+            runner.run(bad)

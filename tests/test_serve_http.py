@@ -1,0 +1,102 @@
+"""The JSON/HTTP frontend: endpoints, typed error mapping."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.runtime import InferenceSession
+from repro.serve import InferenceServer, ServerConfig, serve_http
+
+from _graph_fixtures import make_chain_graph
+
+
+@pytest.fixture
+def served():
+    g = make_chain_graph(batch=4)
+    with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+        with serve_http(server, port=0) as frontend:
+            host, port = frontend.address
+            yield g, server, f"http://{host}:{port}"
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+def _post(url: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+class TestEndpoints:
+    def test_healthz_ok_while_serving(self, served):
+        g, _server, base = served
+        status, doc = _get(f"{base}/healthz")
+        assert status == 200
+        assert doc["status"] == "ok" and doc["model"] == g.name
+        assert doc["graph_batch"] == 4
+
+    def test_infer_matches_session_run(self, served):
+        g, _server, base = served
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 16, 12, 12)).astype(np.float32)
+        status, doc = _post(f"{base}/infer", {"inputs": {"x": x.tolist()}})
+        assert status == 200
+        out_name = g.outputs[0].name
+        padded = np.concatenate([x, np.zeros((3, 16, 12, 12), np.float32)])
+        reference = InferenceSession(g).run({"x": padded}).outputs[out_name]
+        np.testing.assert_allclose(np.asarray(doc["outputs"][out_name],
+                                              dtype=np.float32),
+                                   reference[:1], rtol=0, atol=1e-6)
+        assert doc["latency_ms"] > 0
+
+    def test_stats_reflect_served_requests(self, served):
+        _g, _server, base = served
+        x = np.zeros((1, 16, 12, 12), np.float32).tolist()
+        _post(f"{base}/infer", {"inputs": {"x": x}})
+        status, doc = _get(f"{base}/stats")
+        assert status == 200
+        assert doc["stats"]["serve.completed"] >= 1
+
+    def test_bad_shape_is_400(self, served):
+        _g, _server, base = served
+        status, doc = _post(f"{base}/infer",
+                            {"inputs": {"x": [[1.0, 2.0]]}})
+        assert status == 400
+        assert "error" in doc
+
+    def test_missing_inputs_key_is_400(self, served):
+        _g, _server, base = served
+        status, _doc = _post(f"{base}/infer", {"nope": 1})
+        assert status == 400
+
+    def test_unknown_endpoint_is_404(self, served):
+        _g, _server, base = served
+        assert _get(f"{base}/nope")[0] == 404
+        assert _post(f"{base}/nope", {})[0] == 404
+
+    def test_healthz_unavailable_after_close(self):
+        g = make_chain_graph(batch=4)
+        server = InferenceServer(g, ServerConfig(max_wait_s=0.0)).start()
+        frontend = serve_http(server, port=0)
+        host, port = frontend.address
+        server.close()
+        try:
+            status, doc = _get(f"http://{host}:{port}/healthz")
+            assert status == 503
+            assert doc["status"] == "unavailable"
+        finally:
+            frontend.close()

@@ -1,0 +1,98 @@
+"""Load generator: closed/open loops, reporting, percentiles."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (InferenceServer, LoadgenConfig, LoadgenReport,
+                         ServerConfig, request_inputs, run_loadgen)
+
+from _graph_fixtures import make_chain_graph
+
+
+class TestConfig:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            LoadgenConfig(mode="sideways")
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError, match="requests"):
+            LoadgenConfig(requests=0)
+        with pytest.raises(ValueError, match="concurrency"):
+            LoadgenConfig(concurrency=0)
+        with pytest.raises(ValueError, match="rate"):
+            LoadgenConfig(mode="open", rate=0)
+
+
+class TestRequestInputs:
+    def test_matches_graph_signature(self):
+        g = make_chain_graph(batch=4)
+        inputs = request_inputs(g, samples=2, seed=3)
+        assert inputs["x"].shape == (2, 16, 12, 12)
+        assert inputs["x"].dtype == np.float32
+
+    def test_seed_reproducible(self):
+        g = make_chain_graph(batch=4)
+        a = request_inputs(g, seed=5)
+        b = request_inputs(g, seed=5)
+        np.testing.assert_array_equal(a["x"], b["x"])
+
+
+class TestClosedLoop:
+    def test_all_requests_complete(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.005)) as server:
+            report = run_loadgen(server, LoadgenConfig(
+                mode="closed", requests=16, concurrency=8))
+        assert report.offered == 16
+        assert report.completed == 16
+        assert report.rejected == 0 and report.shed == 0 and report.errors == 0
+        assert report.throughput_rps > 0
+        assert len(report.latencies_s) == 16
+
+    def test_report_carries_percentiles(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.005)) as server:
+            report = run_loadgen(server, LoadgenConfig(
+                requests=8, concurrency=4))
+        lat = report.latency
+        assert 0 < lat.p50 <= lat.p95 <= lat.p99
+
+    def test_batches_actually_coalesce(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.01)) as server:
+            run_loadgen(server, LoadgenConfig(requests=16, concurrency=8))
+            stats = server.stats()
+        assert stats["serve.batch_samples.max"] > 1
+
+
+class TestOpenLoop:
+    def test_poisson_arrivals_complete(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.005,
+                                             max_queue=64)) as server:
+            report = run_loadgen(server, LoadgenConfig(
+                mode="open", requests=12, rate=2000.0))
+        assert report.mode == "open"
+        assert report.completed + report.rejected + report.shed == 12
+        assert report.completed > 0
+
+
+class TestReport:
+    def test_json_roundtrip(self):
+        report = LoadgenReport(mode="closed", offered=4, completed=3,
+                               rejected=1, shed=0, errors=0, duration_s=0.5,
+                               latencies_s=[0.01, 0.02, 0.03])
+        doc = json.loads(report.to_json())
+        assert doc["completed"] == 3
+        assert doc["throughput_rps"] == pytest.approx(6.0)
+        assert set(doc["latency_ms"]) == {"best", "mean", "p50", "p95", "p99"}
+        assert doc["latency_ms"]["p50"] == pytest.approx(20.0)
+
+    def test_summary_mentions_percentiles(self):
+        report = LoadgenReport(mode="closed", offered=1, completed=1,
+                               rejected=0, shed=0, errors=0, duration_s=1.0,
+                               latencies_s=[0.004])
+        text = report.summary()
+        assert "p50" in text and "p95" in text and "p99" in text

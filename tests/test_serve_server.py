@@ -1,0 +1,217 @@
+"""InferenceServer: batching equivalence, backpressure, deadlines."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import InferenceSession
+from repro.serve import (DeadlineExceeded, InferenceServer, Overloaded,
+                         ServeError, ServerClosed, ServerConfig)
+
+from _graph_fixtures import make_chain_graph
+
+
+def _sample(seed: int, channels: int = 16, hw: int = 12, k: int = 1):
+    rng = np.random.default_rng(seed)
+    return {"x": rng.normal(size=(k, channels, hw, hw)).astype(np.float32)}
+
+
+class TestServedNumerics:
+    def test_coalesced_outputs_bitwise_equal_session_run(self):
+        """B single-sample requests == session.run on the assembled batch."""
+        g = make_chain_graph(batch=4)
+        out_name = g.outputs[0].name
+        samples = [_sample(i) for i in range(4)]
+        # generous max_wait so all four coalesce into one shard, in
+        # submission order (single submitter => deterministic FIFO)
+        config = ServerConfig(num_workers=1, max_wait_s=0.5)
+        with InferenceServer(g, config) as server:
+            futures = [server.submit(s) for s in samples]
+            served = [f.result(10.0) for f in futures]
+        reference = InferenceSession(g).run(
+            {"x": np.concatenate([s["x"] for s in samples])}).outputs[out_name]
+        for i, outputs in enumerate(served):
+            assert np.array_equal(outputs[out_name], reference[i:i + 1])
+
+    def test_padded_outputs_bitwise_equal_session_run(self):
+        """Zero-padding the tail shard must not change served numerics."""
+        g = make_chain_graph(batch=4)
+        out_name = g.outputs[0].name
+        samples = [_sample(i + 100) for i in range(3)]
+        config = ServerConfig(num_workers=1, max_wait_s=0.5)
+        with InferenceServer(g, config) as server:
+            futures = [server.submit(s) for s in samples]
+            served = [f.result(10.0) for f in futures]
+        padded = np.concatenate([s["x"] for s in samples]
+                                + [np.zeros((1, 16, 12, 12), np.float32)])
+        reference = InferenceSession(g).run({"x": padded}).outputs[out_name]
+        for i, outputs in enumerate(served):
+            assert np.array_equal(outputs[out_name], reference[i:i + 1])
+
+    def test_full_batch_request_matches_session_run(self):
+        g = make_chain_graph(batch=4)
+        inputs = _sample(7, k=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            served = server.infer(inputs, timeout=10.0)
+        reference = InferenceSession(g).run(inputs).outputs
+        for name, arr in reference.items():
+            assert np.array_equal(served[name], arr)
+
+    def test_oversized_request_split_and_reassembled(self):
+        g = make_chain_graph(batch=4)
+        inputs = _sample(9, k=10)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            served = server.infer(inputs, timeout=10.0)
+        out_name = g.outputs[0].name
+        assert served[out_name].shape[0] == 10
+        session = InferenceSession(g)
+        padded = np.concatenate([inputs["x"],
+                                 np.zeros((2, 16, 12, 12), np.float32)])
+        reference = np.concatenate(
+            [session.run({"x": padded[lo:lo + 4]}).outputs[out_name]
+             for lo in (0, 4, 8)])
+        assert np.array_equal(served[out_name], reference[:10])
+
+    def test_bare_array_convenience(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            served = server.infer(_sample(3)["x"], timeout=10.0)
+        assert served[g.outputs[0].name].shape[0] == 1
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_typed_and_does_not_enqueue(self):
+        g = make_chain_graph(batch=4)
+        server = InferenceServer(g, ServerConfig(max_queue=2))
+        # not started: nothing drains, so admission is deterministic
+        server.submit(_sample(0))
+        server.submit(_sample(1))
+        with pytest.raises(Overloaded, match="queue full"):
+            server.submit(_sample(2))
+        stats = server.stats()
+        assert stats["serve.rejected"] == 1
+        assert stats["serve.queue_depth"] == 2
+        server.close()
+
+    def test_close_rejects_queued_requests(self):
+        g = make_chain_graph(batch=4)
+        server = InferenceServer(g, ServerConfig(max_queue=4))
+        futures = [server.submit(_sample(i)) for i in range(2)]
+        server.close()
+        for future in futures:
+            with pytest.raises(ServerClosed):
+                future.result(1.0)
+        with pytest.raises(ServerClosed):
+            server.submit(_sample(9))
+
+    def test_close_is_idempotent(self):
+        g = make_chain_graph(batch=4)
+        server = InferenceServer(g).start()
+        server.close()
+        server.close()
+        assert not server.healthy()
+
+
+class TestDeadlines:
+    def test_expired_request_is_shed_and_counted(self):
+        g = make_chain_graph(batch=4)
+        server = InferenceServer(g, ServerConfig(max_wait_s=0.0))
+        future = server.submit(_sample(0), deadline_s=0.0)
+        time.sleep(0.01)  # guarantee expiry before the workers start
+        server.start()
+        with pytest.raises(DeadlineExceeded, match="expired"):
+            future.result(5.0)
+        assert server.stats()["serve.shed"] == 1
+        server.close()
+
+    def test_unexpired_deadline_serves_normally(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            outputs = server.infer(_sample(0), deadline_s=30.0, timeout=10.0)
+        assert g.outputs[0].name in outputs
+
+    def test_default_deadline_from_config(self):
+        g = make_chain_graph(batch=4)
+        server = InferenceServer(
+            g, ServerConfig(max_wait_s=0.0, default_deadline_s=0.0))
+        future = server.submit(_sample(0))
+        time.sleep(0.01)
+        server.start()
+        with pytest.raises(DeadlineExceeded):
+            future.result(5.0)
+        server.close()
+
+
+class TestBatchingThroughput:
+    def test_batching_beats_one_request_at_a_time(self):
+        """The acceptance A/B: equal workers, batching on vs off."""
+        g = make_chain_graph(batch=8)
+        requests = 32
+
+        def drive(batching: bool) -> tuple[float, float]:
+            config = ServerConfig(num_workers=1, max_queue=requests,
+                                  max_wait_s=0.05, batching=batching)
+            with InferenceServer(g, config) as server:
+                start = time.perf_counter()
+                futures = [server.submit(_sample(i)) for i in range(requests)]
+                for future in futures:
+                    future.result(60.0)
+                elapsed = time.perf_counter() - start
+                batches = server.stats()["serve.batches"]
+            return elapsed, batches
+
+        batched_s, batched_runs = drive(batching=True)
+        serial_s, serial_runs = drive(batching=False)
+        # one graph run per request without batching; ~requests/8 with
+        assert serial_runs == requests
+        assert batched_runs < requests
+        assert batched_s < serial_s, (
+            f"batched {batched_s:.3f}s not faster than serial {serial_s:.3f}s")
+
+
+class TestWorkerResilience:
+    def test_worker_failure_rejects_batch_not_server(self):
+        g = make_chain_graph(batch=4)
+        server = InferenceServer(g, ServerConfig(max_wait_s=0.0))
+        boom = {"armed": True}
+        real_run = server._sessions[0].run
+
+        def failing_run(inputs, **kwargs):
+            if boom["armed"]:
+                boom["armed"] = False
+                raise RuntimeError("injected kernel failure")
+            return real_run(inputs, **kwargs)
+
+        server._sessions[0].run = failing_run
+        server.start()
+        with pytest.raises(ServeError, match="inference failed"):
+            server.infer(_sample(0), timeout=10.0)
+        # the worker survives and serves the next request
+        outputs = server.infer(_sample(1), timeout=10.0)
+        assert g.outputs[0].name in outputs
+        assert server.stats()["serve.failed"] == 1
+        server.close()
+
+
+class TestStatsAndConfig:
+    def test_stats_carry_latency_quantiles_and_batch_distribution(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.01)) as server:
+            futures = [server.submit(_sample(i)) for i in range(8)]
+            for future in futures:
+                future.result(10.0)
+            stats = server.stats()
+        assert stats["serve.completed"] == 8
+        for key in ("serve.latency_ms.p50", "serve.latency_ms.p95",
+                    "serve.latency_ms.p99", "serve.batch_samples.max"):
+            assert key in stats
+        assert stats["serve.latency_ms.p50"] > 0
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ServerConfig(num_workers=0)
+        with pytest.raises(ValueError, match="max_queue"):
+            ServerConfig(max_queue=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            ServerConfig(max_wait_s=-1.0)
