@@ -1,0 +1,252 @@
+"""Benchmark baselines and the continuous regression gate.
+
+``repro bench --json`` measures the suite and writes a
+``BENCH_<name>.json`` document; ``repro bench --compare <baseline>``
+re-measures with the *baseline's own configuration* and diffs the two.
+The committed ``BENCH_baseline.json`` at the repo root is the
+reference; CI runs the gate on every push so a change that silently
+raises an optimized peak fails the build.
+
+What gets gated, and how tightly, follows from what is deterministic:
+
+- **peak bytes** (measured, per variant) depend only on tensor shapes
+  and the compiler's decisions — identical across machines — so the
+  default peak tolerance is **0.0%**: any byte of growth is a
+  regression.  Improvements (lower peaks) are reported, never fatal.
+- **latency** is machine- and load-dependent, so latency deltas are
+  *informational* by default and only gate when an explicit
+  ``--latency-tolerance`` is given (useful on a quiet dedicated box).
+
+Document schema (version 1)::
+
+    {"schema": 1, "name": ..., "created_at": ...,
+     "config": {"models": [...], "batch": ..., "hw": ..., "ratio": ...,
+                "method": ..., "seed": ..., "repeats": ..., "warmup": ...},
+     "models": {model: {"best_variant": ...,
+                        "reduction_pct": ...,
+                        "variants": {variant: {
+                            "peak_bytes": ...,
+                            "latency_ms": {"p50": ..., "p95": ...,
+                                           "p99": ...}}}}}}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..runtime.engine import InferenceSession
+from .harness import build_variants, format_table, variant_names_for
+
+__all__ = ["SCHEMA_VERSION", "DEFAULT_MODELS", "BenchConfig", "BenchDelta",
+           "BenchComparison", "collect_bench", "write_bench", "load_bench",
+           "compare_bench", "format_comparison"]
+
+SCHEMA_VERSION = 1
+
+#: the gate's default model subset: small enough for CI (a few seconds
+#: each), diverse enough to cover the pipeline's branches — a plain
+#: CNN (fusion), a skip-connection ResNet, and a U-Net (concat skips)
+DEFAULT_MODELS = ("alexnet", "resnet18", "unet_small")
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """The suite's workload knobs (embedded in every document so
+    ``--compare`` re-measures apples-to-apples)."""
+
+    models: tuple[str, ...] = DEFAULT_MODELS
+    batch: int = 4
+    hw: int = 32
+    ratio: float = 0.1
+    method: str = "tucker"
+    seed: int = 0
+    repeats: int = 5
+    warmup: int = 1
+
+    def to_dict(self) -> dict:
+        return {"models": list(self.models), "batch": self.batch,
+                "hw": self.hw, "ratio": self.ratio, "method": self.method,
+                "seed": self.seed, "repeats": self.repeats,
+                "warmup": self.warmup}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "BenchConfig":
+        return cls(models=tuple(doc["models"]), batch=doc["batch"],
+                   hw=doc["hw"], ratio=doc["ratio"], method=doc["method"],
+                   seed=doc["seed"], repeats=doc["repeats"],
+                   warmup=doc["warmup"])
+
+
+def collect_bench(config: BenchConfig | None = None, *,
+                  name: str = "current") -> dict:
+    """Measure the suite and return a schema-1 bench document.
+
+    Per model, measures the *original* and the best TeMCO variant:
+    measured peak internal bytes (from one profiled run) and p50/p95/p99
+    end-to-end latency over ``config.repeats`` timed runs.
+    """
+    config = config or BenchConfig()
+    models: dict[str, dict] = {}
+    for model in config.models:
+        vs = build_variants(model, batch=config.batch, hw=config.hw,
+                            ratio=config.ratio, seed=config.seed,
+                            method=config.method)
+        best = variant_names_for(model)[-1]
+        inputs = vs.input_batch(config.seed)
+        variants: dict[str, dict] = {}
+        for variant in ("original", best):
+            session = InferenceSession(vs.graphs[variant])
+            peak = session.run(inputs).memory.peak_internal_bytes
+            timing = session.time_inference(
+                inputs, warmup=config.warmup, repeats=config.repeats)
+            variants[variant] = {
+                "peak_bytes": int(peak),
+                "latency_ms": {"p50": timing.p50 * 1e3,
+                               "p95": timing.p95 * 1e3,
+                               "p99": timing.p99 * 1e3},
+            }
+        original_peak = variants["original"]["peak_bytes"]
+        reduction = (1.0 - variants[best]["peak_bytes"] / original_peak) \
+            * 100.0 if original_peak else 0.0
+        models[model] = {"best_variant": best, "reduction_pct": reduction,
+                         "variants": variants}
+    return {"schema": SCHEMA_VERSION, "name": name,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "config": config.to_dict(), "models": models}
+
+
+def write_bench(doc: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load and schema-check a bench document."""
+    doc = json.loads(Path(path).read_text())
+    schema = doc.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: bench schema {schema!r} unsupported "
+            f"(expected {SCHEMA_VERSION})")
+    for key in ("config", "models"):
+        if key not in doc:
+            raise ValueError(f"{path}: bench document missing {key!r}")
+    return doc
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One (model, variant) diff row."""
+
+    model: str
+    variant: str
+    baseline_peak_bytes: int
+    current_peak_bytes: int
+    baseline_p50_ms: float
+    current_p50_ms: float
+
+    @property
+    def peak_delta_pct(self) -> float:
+        if not self.baseline_peak_bytes:
+            return 0.0
+        return (self.current_peak_bytes / self.baseline_peak_bytes - 1.0) \
+            * 100.0
+
+    @property
+    def latency_delta_pct(self) -> float:
+        if not self.baseline_p50_ms:
+            return 0.0
+        return (self.current_p50_ms / self.baseline_p50_ms - 1.0) * 100.0
+
+
+@dataclass
+class BenchComparison:
+    """The gate's verdict: per-row deltas plus fatal regressions."""
+
+    baseline_name: str
+    current_name: str
+    deltas: list[BenchDelta] = field(default_factory=list)
+    regressions: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+
+def compare_bench(current: dict, baseline: dict, *,
+                  peak_tolerance_pct: float = 0.0,
+                  latency_tolerance_pct: float | None = None
+                  ) -> BenchComparison:
+    """Diff ``current`` against ``baseline``.
+
+    A (model, variant) regresses when its measured peak grows more than
+    ``peak_tolerance_pct`` percent over the baseline (default: any
+    growth).  Latency gates only when ``latency_tolerance_pct`` is
+    given; otherwise latency deltas are informational.  A model present
+    in the baseline but absent from the current run is a regression
+    (coverage must not silently shrink).
+    """
+    comparison = BenchComparison(
+        baseline_name=baseline.get("name", "baseline"),
+        current_name=current.get("name", "current"))
+    for model, base_entry in sorted(baseline["models"].items()):
+        cur_entry = current["models"].get(model)
+        if cur_entry is None:
+            comparison.regressions.append(
+                f"{model}: present in baseline but not measured now")
+            continue
+        for variant, base_v in sorted(base_entry["variants"].items()):
+            cur_v = cur_entry["variants"].get(variant)
+            if cur_v is None:
+                comparison.regressions.append(
+                    f"{model}/{variant}: variant missing from current run")
+                continue
+            delta = BenchDelta(
+                model=model, variant=variant,
+                baseline_peak_bytes=int(base_v["peak_bytes"]),
+                current_peak_bytes=int(cur_v["peak_bytes"]),
+                baseline_p50_ms=float(base_v["latency_ms"]["p50"]),
+                current_p50_ms=float(cur_v["latency_ms"]["p50"]))
+            comparison.deltas.append(delta)
+            if delta.peak_delta_pct > peak_tolerance_pct:
+                comparison.regressions.append(
+                    f"{model}/{variant}: peak {delta.current_peak_bytes} B "
+                    f"is {delta.peak_delta_pct:+.2f}% vs baseline "
+                    f"{delta.baseline_peak_bytes} B "
+                    f"(tolerance {peak_tolerance_pct:.2f}%)")
+            if (latency_tolerance_pct is not None
+                    and delta.latency_delta_pct > latency_tolerance_pct):
+                comparison.regressions.append(
+                    f"{model}/{variant}: p50 latency "
+                    f"{delta.current_p50_ms:.2f} ms is "
+                    f"{delta.latency_delta_pct:+.1f}% vs baseline "
+                    f"{delta.baseline_p50_ms:.2f} ms "
+                    f"(tolerance {latency_tolerance_pct:.1f}%)")
+    return comparison
+
+
+def format_comparison(comparison: BenchComparison) -> str:
+    """The gate's stdout: a delta table, then the verdict."""
+    rows = [[d.model, d.variant,
+             d.baseline_peak_bytes, d.current_peak_bytes,
+             f"{d.peak_delta_pct:+.2f}%",
+             f"{d.baseline_p50_ms:.2f}", f"{d.current_p50_ms:.2f}",
+             f"{d.latency_delta_pct:+.1f}%"]
+            for d in comparison.deltas]
+    table = format_table(
+        ["model", "variant", "base peak B", "now peak B", "peak Δ",
+         "base p50 ms", "now p50 ms", "p50 Δ"],
+        rows,
+        title=(f"bench gate: {comparison.current_name} vs "
+               f"{comparison.baseline_name}"))
+    lines = [table, ""]
+    if comparison.passed:
+        lines.append("PASS: no regressions (latency deltas informational)")
+    else:
+        lines.append(f"FAIL: {len(comparison.regressions)} regression(s)")
+        lines += [f"  - {reason}" for reason in comparison.regressions]
+    return "\n".join(lines)

@@ -32,8 +32,20 @@ loadgen MODEL|FILE.npz
     Start an in-process server and drive it with an open- or
     closed-loop load generator; reports throughput and p50/p95/p99
     latency (``--json`` for machine-readable output).
+memcheck [MODEL ...]
+    Memory conformance audit: run every requested zoo model (original
+    *and* TeMCO-optimized) with the allocation ledger on and cross-check
+    measured peak vs the liveness prediction, the arena plan, and the
+    ledger's own replay.  Exits non-zero on any mismatch.  See
+    ``docs/memory_auditing.md``.
 bench {fig4,fig10,fig11,fig12}
     Regenerate one paper figure as a text table.
+bench [--json] [--name N] / bench --compare [BASELINE]
+    With no figure: measure the bench suite (per-model peak bytes,
+    reduction %, latency p50/p95/p99).  ``--json`` writes
+    ``BENCH_<name>.json``; ``--compare`` re-measures with the
+    baseline's own config and fails on peak regressions (the CI gate
+    against the committed ``BENCH_baseline.json``).
 
 ``optimize``, ``run`` and ``bench`` also accept ``--trace PATH`` (dump
 a Chrome trace / JSONL of the whole command) and ``--log-level`` (wire
@@ -54,9 +66,11 @@ from pathlib import Path
 
 import numpy as np
 
-from .bench import (PAPER_LABELS, figure4, figure10, figure11, figure12,
-                    format_table, internal_reduction_geomean, overhead_ratios,
-                    trace_figures, use_tuned_fusion)
+from .bench import (DEFAULT_MODELS, PAPER_LABELS, BenchConfig, collect_bench,
+                    compare_bench, figure4, figure10, figure11, figure12,
+                    format_comparison, format_table,
+                    internal_reduction_geomean, load_bench, overhead_ratios,
+                    trace_figures, use_tuned_fusion, write_bench)
 from .core import TeMCOConfig, estimate_peak_internal, optimize
 from .decompose import DecompositionConfig, decompose_graph
 from .ir import (Graph, format_graph, load_graph, save_dot, save_graph,
@@ -380,9 +394,99 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_memcheck(args) -> int:
+    from .obs.audit import audit_zoo
+
+    models = args.models or list(MODEL_ZOO)
+    unknown = [m for m in models if m not in MODEL_ZOO]
+    if unknown:
+        print(f"memcheck: unknown zoo model(s) {unknown}; "
+              f"see `repro models`", file=sys.stderr)
+        return 2
+    audits = audit_zoo(models, batch=args.batch, hw=args.hw,
+                       ratio=args.ratio, method=args.method, seed=args.seed,
+                       tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps([ma.to_dict() for ma in audits], indent=1,
+                         sort_keys=True))
+        return 0 if all(ma.passed for ma in audits) else 1
+    rows = []
+    for ma in audits:
+        for ga in (ma.original, ma.optimized):
+            rows.append([ma.model, ga.variant, ga.measured_peak_bytes,
+                         ga.predicted_peak_bytes, ga.arena_bytes,
+                         ga.ledger_events,
+                         "ok" if ga.passed else "FAIL"])
+    print(format_table(
+        ["model", "variant", "measured B", "predicted B", "arena B",
+         "events", "verdict"],
+        rows, title=f"memory conformance audit (batch {args.batch}, "
+                    f"hw {args.hw}, tolerance {args.tolerance:.2%})"))
+    print()
+    for ma in audits:
+        status = "PASS" if ma.passed else "FAIL"
+        print(f"{status} {ma.model}: peak reduction {ma.reduction_pct:.1f}% "
+              f"(measured, {ma.optimized.variant})")
+        for finding in ma.all_findings():
+            marker = "!" if finding.severity == "error" else "~"
+            print(f"  {marker} [{finding.kind}] {finding.message}")
+    failed = [ma.model for ma in audits if not ma.passed]
+    print()
+    if failed:
+        print(f"memcheck FAILED for {len(failed)}/{len(audits)} model(s): "
+              f"{', '.join(failed)}")
+        return 1
+    print(f"memcheck passed: {len(audits)} model(s), both variants each — "
+          f"measured == predicted, ledger consistent, arenas hold")
+    return 0
+
+
+def _cmd_bench_suite(args) -> int:
+    """``repro bench`` without a figure: measure / write / gate."""
+    if args.compare:
+        baseline = load_bench(args.compare)
+        config = BenchConfig.from_dict(baseline["config"])
+        print(f"bench gate: re-measuring {len(config.models)} model(s) with "
+              f"the baseline's config (batch {config.batch}, hw {config.hw}, "
+              f"{config.repeats} repeats)")
+        current = collect_bench(config, name=args.name)
+        if args.out:
+            write_bench(current, args.out)
+            print(f"wrote current measurements to {args.out}")
+        comparison = compare_bench(
+            current, baseline,
+            peak_tolerance_pct=args.peak_tolerance,
+            latency_tolerance_pct=args.latency_tolerance)
+        print(format_comparison(comparison))
+        return 0 if comparison.passed else 1
+    config = BenchConfig(models=tuple(args.models or DEFAULT_MODELS),
+                         batch=args.batch, hw=args.hw, repeats=args.repeats)
+    doc = collect_bench(config, name=args.name)
+    rows = []
+    for model, entry in sorted(doc["models"].items()):
+        for variant, v in sorted(entry["variants"].items()):
+            rows.append([model, variant, v["peak_bytes"],
+                         f"{v['latency_ms']['p50']:.2f}",
+                         f"{v['latency_ms']['p95']:.2f}",
+                         f"{v['latency_ms']['p99']:.2f}"])
+    print(format_table(
+        ["model", "variant", "peak B", "p50 ms", "p95 ms", "p99 ms"],
+        rows, title=f"bench suite {doc['name']!r} ({doc['created_at']})"))
+    for model, entry in sorted(doc["models"].items()):
+        print(f"{model}: {entry['reduction_pct']:.1f}% peak reduction "
+              f"({entry['best_variant']})")
+    if args.json:
+        out = args.out or Path(f"BENCH_{args.name}.json")
+        write_bench(doc, out)
+        print(f"wrote bench document to {out}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     if args.log_level:
         configure_logging(args.log_level)
+    if args.figure is None:
+        return _cmd_bench_suite(args)
     tuned_ctx = contextlib.nullcontext()
     if args.tuned:
         cache = TuneCache(args.cache_dir)
@@ -598,14 +702,64 @@ def build_parser() -> argparse.ArgumentParser:
                                      fromlist=["run_selfcheck"]).run_selfcheck())
         else 1)
 
-    p = sub.add_parser("bench", help="regenerate a paper figure")
-    p.add_argument("figure", choices=("fig4", "fig10", "fig11", "fig12"))
+    p = sub.add_parser("memcheck", help="memory conformance audit: ledger "
+                                        "replay, predicted-vs-measured peak, "
+                                        "arena bounds, per zoo model")
+    p.add_argument("models", nargs="*", metavar="MODEL",
+                   help="zoo models to audit (default: the whole zoo)")
+    p.add_argument("--batch", type=int, default=2,
+                   help="audit batch size (default 2: small and fast)")
+    p.add_argument("--hw", type=int, default=32,
+                   help="input resolution (default 32)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ratio", type=float, default=0.1)
+    p.add_argument("--method", choices=("tucker", "cp", "tt"),
+                   default="tucker")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="allowed relative measured-vs-predicted peak "
+                        "deviation (default 0.0: bit-exact)")
+    p.add_argument("--json", action="store_true",
+                   help="print the audit results as JSON (for scripts/CI)")
+    obs_flags(p)
+    p.set_defaults(fn=_obs_wrap(_cmd_memcheck))
+
+    p = sub.add_parser("bench", help="regenerate a paper figure, or (with "
+                                     "no figure) run the bench suite / "
+                                     "regression gate")
+    p.add_argument("figure", nargs="?", default=None,
+                   choices=("fig4", "fig10", "fig11", "fig12"),
+                   help="paper figure to regenerate; omit to measure the "
+                        "bench suite (see --json / --compare)")
     p.add_argument("--model", default=None)
     p.add_argument("--batch", type=int, default=4)
     p.add_argument("--hw", type=int, default=32,
                    help="input resolution for fig11/fig12 (default 32)")
     p.add_argument("--repeats", type=int, default=2,
                    help="timing repeats per fig11 measurement (default 2)")
+    p.add_argument("--models", nargs="+", default=None, metavar="MODEL",
+                   help="suite mode: models to measure (default: "
+                        f"{' '.join(DEFAULT_MODELS)})")
+    p.add_argument("--json", action="store_true",
+                   help="suite mode: write the measurements as "
+                        "BENCH_<name>.json")
+    p.add_argument("--name", default="current",
+                   help="suite mode: document name (default 'current')")
+    p.add_argument("--out", type=Path, default=None, metavar="PATH",
+                   help="suite mode: explicit output path for --json "
+                        "(default BENCH_<name>.json)")
+    p.add_argument("--compare", nargs="?", const="BENCH_baseline.json",
+                   default=None, metavar="BASELINE",
+                   help="suite mode: re-measure with BASELINE's config and "
+                        "fail on peak regressions (default baseline: "
+                        "BENCH_baseline.json)")
+    p.add_argument("--peak-tolerance", type=float, default=0.0,
+                   dest="peak_tolerance", metavar="PCT",
+                   help="--compare: allowed peak growth in percent "
+                        "(default 0.0: any growth fails)")
+    p.add_argument("--latency-tolerance", type=float, default=None,
+                   dest="latency_tolerance", metavar="PCT",
+                   help="--compare: gate p50 latency at PCT percent growth "
+                        "(default: latency is informational only)")
     obs_flags(p)
     tune_flags(p, no_tune=False)
     p.set_defaults(fn=_cmd_bench)

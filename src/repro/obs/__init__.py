@@ -30,8 +30,9 @@ from .events import CounterSample, DecisionEvent, InstantEvent, SpanRecord
 from .export import (chrome_trace_events, jsonl_records, to_chrome_trace,
                      write_chrome_trace, write_jsonl, write_trace)
 from .metrics import Histogram, MetricsRegistry
-from .tracer import (NOOP_TRACER, NoopTracer, Tracer, configure_logging,
-                     get_tracer, set_tracer, use_tracer)
+from .prometheus import prometheus_metric_name, prometheus_text
+from .tracer import (NOOP_TRACER, NoopTracer, TaggedTracer, Tracer,
+                     configure_logging, get_tracer, set_tracer, use_tracer)
 
 __all__ = [
     "SpanRecord",
@@ -40,8 +41,11 @@ __all__ = [
     "DecisionEvent",
     "Histogram",
     "MetricsRegistry",
+    "prometheus_text",
+    "prometheus_metric_name",
     "Tracer",
     "NoopTracer",
+    "TaggedTracer",
     "NOOP_TRACER",
     "get_tracer",
     "set_tracer",

@@ -9,7 +9,10 @@ consumed by Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``:
 - decision and instant events become instant events (``ph: "i"``) whose
   ``args`` carry the verdict/reason/quantities,
 - counter samples become counter events (``ph: "C"``) — the ``memory``
-  track renders as the live-bytes timeline alongside the node spans,
+  track renders the live/scratch-bytes timeline alongside the node
+  spans, and the ``arena`` track (emitted by the conformance auditor,
+  :mod:`repro.obs.audit`) renders the planned arena occupancy next to
+  it for a measured-vs-planned visual diff,
 - process/thread names are set with metadata events (``ph: "M"``).
 
 ``write_jsonl`` dumps the same records as one self-describing JSON

@@ -23,6 +23,13 @@ __all__ = ["Histogram", "MetricsRegistry"]
 #: histogram quantiles flattened into :meth:`MetricsRegistry.snapshot`
 _SNAPSHOT_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
 
+#: the well-defined zero-state a never-observed histogram reports;
+#: every snapshot has exactly this key set, so consumers (Markdown
+#: tables, the Prometheus exposition, JSON reports) never special-case
+#: empty or single-sample series
+_EMPTY_SNAPSHOT = {"count": 0.0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                   "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
 
 class Histogram:
     """Streaming value distribution with bounded memory.
@@ -66,7 +73,9 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Linearly interpolated quantile over the reservoir, ``q`` in [0, 1]."""
+        """Linearly interpolated quantile over the reservoir, ``q`` in
+        [0, 1].  Well-defined on every series: an empty histogram
+        reports 0.0 and a single-sample one reports that sample."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self._samples:
@@ -78,11 +87,17 @@ class Histogram:
         return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
 
     def snapshot(self) -> dict[str, float]:
-        """count/mean/min/max plus the standard latency quantiles."""
+        """count/sum/mean/min/max plus the standard latency quantiles.
+
+        The key set is fixed: an empty histogram returns all-zeros
+        (never raises, never emits ``inf`` from the min/max trackers),
+        and a single-sample histogram reports that sample for
+        mean/min/max and every quantile.
+        """
         if not self.count:
-            return {"count": 0}
-        out = {"count": float(self.count), "mean": self.mean,
-               "min": self.min, "max": self.max}
+            return dict(_EMPTY_SNAPSHOT)
+        out = {"count": float(self.count), "sum": self.total,
+               "mean": self.mean, "min": self.min, "max": self.max}
         for label, q in _SNAPSHOT_QUANTILES:
             out[label] = self.quantile(q)
         return out
@@ -122,17 +137,18 @@ class MetricsRegistry:
             return self.gauges.get(name, default)
 
     def quantiles(self, name: str) -> dict[str, float]:
-        """Snapshot of one histogram (empty stats if never observed)."""
+        """Snapshot of one histogram.  A never-observed name returns
+        the all-zero snapshot (same key set as a populated one)."""
         with self._lock:
             hist = self.histograms.get(name)
-            return hist.snapshot() if hist is not None else {"count": 0}
+            return hist.snapshot() if hist is not None else dict(_EMPTY_SNAPSHOT)
 
     def snapshot(self) -> dict[str, float]:
         """Counters, gauges and flattened histogram stats, sorted.
 
-        Histogram entries appear as ``{name}.{stat}`` (count, mean,
-        min, max, p50, p95, p99) so report emitters need no special
-        casing.
+        Histogram entries appear as ``{name}.{stat}`` (count, sum,
+        mean, min, max, p50, p95, p99) so report emitters need no
+        special casing.
         """
         with self._lock:
             merged = {**self.counters, **self.gauges}
@@ -140,6 +156,17 @@ class MetricsRegistry:
                 for stat, value in hist.snapshot().items():
                     merged[f"{name}.{stat}"] = value
             return dict(sorted(merged.items()))
+
+    def export(self) -> tuple[dict[str, float], dict[str, float],
+                              dict[str, dict[str, float]]]:
+        """One consistent ``(counters, gauges, histogram snapshots)``
+        copy taken under the lock — the raw form the Prometheus text
+        exposition (:mod:`repro.obs.prometheus`) renders, which needs
+        the three metric kinds kept apart rather than flattened."""
+        with self._lock:
+            return (dict(self.counters), dict(self.gauges),
+                    {name: hist.snapshot()
+                     for name, hist in self.histograms.items()})
 
     def clear(self) -> None:
         with self._lock:

@@ -1,0 +1,102 @@
+"""Prometheus text exposition (format version 0.0.4) of a registry.
+
+:func:`prometheus_text` renders a
+:class:`~repro.obs.metrics.MetricsRegistry` as the plain-text format
+Prometheus scrapes, so the serving frontend's ``GET /metrics``
+endpoint makes a running :class:`~repro.serve.InferenceServer`
+observable by any off-the-shelf Prometheus/Grafana stack — stdlib
+only, like the rest of the repo:
+
+- counters render as ``TYPE counter`` with the conventional ``_total``
+  suffix,
+- gauges render as ``TYPE gauge``,
+- histograms render as ``TYPE summary``: the p50/p95/p99 reservoir
+  quantiles with ``quantile`` labels plus ``_sum`` / ``_count``, and
+  the exact min/max as companion gauges.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): the registry's dotted names
+(``serve.latency_ms``) become underscore-joined and namespaced
+(``repro_serve_latency_ms``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .metrics import MetricsRegistry
+
+__all__ = ["prometheus_text", "prometheus_metric_name", "CONTENT_TYPE"]
+
+#: the Content-Type a /metrics response must declare
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: summary quantile label per snapshot key
+_QUANTILE_KEYS = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def prometheus_metric_name(name: str, namespace: str = "repro") -> str:
+    """Sanitize a registry metric name into a valid Prometheus name."""
+    flat = _INVALID.sub("_", name)
+    full = f"{namespace}_{flat}" if namespace else flat
+    if not full or full[0].isdigit():
+        full = f"_{full}"
+    return full
+
+
+def _num(value: float) -> str:
+    """Exposition number rendering: integers stay exact (no %g
+    truncation of byte counts), floats use repr for full precision."""
+    value = float(value)
+    if value.is_integer() and abs(value) < 2 ** 63:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry, *, namespace: str = "repro",
+                    extra_gauges: dict[str, float] | None = None) -> str:
+    """The registry as one Prometheus text-exposition document.
+
+    ``extra_gauges`` lets a caller append point-in-time values that
+    live outside the registry (the server's in-flight count, worker
+    count); they render as gauges under the same namespace.
+    """
+    counters, gauges, histograms = registry.export()
+    if extra_gauges:
+        gauges = {**gauges, **{k: float(v) for k, v in extra_gauges.items()}}
+    lines: list[str] = []
+
+    for name in sorted(counters):
+        metric = prometheus_metric_name(name, namespace)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# HELP {metric} Counter {name!r} from the repro "
+                     f"metrics registry.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_num(counters[name])}")
+
+    for name in sorted(gauges):
+        metric = prometheus_metric_name(name, namespace)
+        lines.append(f"# HELP {metric} Gauge {name!r} from the repro "
+                     f"metrics registry.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_num(gauges[name])}")
+
+    for name in sorted(histograms):
+        snap = histograms[name]
+        metric = prometheus_metric_name(name, namespace)
+        lines.append(f"# HELP {metric} Distribution {name!r} from the "
+                     f"repro metrics registry (reservoir quantiles).")
+        lines.append(f"# TYPE {metric} summary")
+        for key, quantile in _QUANTILE_KEYS:
+            lines.append(f'{metric}{{quantile="{quantile}"}} '
+                         f"{_num(snap[key])}")
+        lines.append(f"{metric}_sum {_num(snap['sum'])}")
+        lines.append(f"{metric}_count {_num(snap['count'])}")
+        for stat in ("min", "max"):
+            lines.append(f"# TYPE {metric}_{stat} gauge")
+            lines.append(f"{metric}_{stat} {_num(snap[stat])}")
+
+    return "\n".join(lines) + "\n"

@@ -31,8 +31,8 @@ from typing import Any, Callable, Iterator
 from .events import CounterSample, DecisionEvent, InstantEvent, SpanRecord
 from .metrics import MetricsRegistry
 
-__all__ = ["Tracer", "NoopTracer", "NOOP_TRACER", "get_tracer",
-           "set_tracer", "use_tracer", "configure_logging"]
+__all__ = ["Tracer", "NoopTracer", "TaggedTracer", "NOOP_TRACER",
+           "get_tracer", "set_tracer", "use_tracer", "configure_logging"]
 
 
 class _NoopSpan:
@@ -71,7 +71,8 @@ class NoopTracer:
     def instant(self, name: str, category: str = "", **args) -> None:
         return None
 
-    def counter(self, track: str, **values) -> None:
+    def counter(self, track: str, ts_us: float | None = None,
+                **values) -> None:
         return None
 
     def decision(self, pass_name: str, subject: str, verdict: str,
@@ -140,9 +141,15 @@ class Tracer(NoopTracer):
         self.instants.append(InstantEvent(
             name=name, category=category, ts_us=self.now_us(), args=args))
 
-    def counter(self, track: str, **values) -> None:
+    def counter(self, track: str, ts_us: float | None = None,
+                **values) -> None:
+        """Sample a counter track.  ``ts_us`` places the sample at an
+        explicit timestamp instead of "now" — used by the conformance
+        auditor to align the ``arena`` occupancy track with the
+        already-recorded executor node spans."""
         self.counters.append(CounterSample(
-            track=track, ts_us=self.now_us(), values=values))
+            track=track, ts_us=self.now_us() if ts_us is None else ts_us,
+            values=values))
 
     def decision(self, pass_name: str, subject: str, verdict: str,
                  reason: str = "", **quantities) -> None:
@@ -166,6 +173,65 @@ class Tracer(NoopTracer):
         """One series of a counter track, in record order."""
         return [s.values[key] for s in self.counters
                 if s.track == track and key in s.values]
+
+
+class TaggedTracer:
+    """Proxy that stamps fixed attributes onto every record.
+
+    Wraps any tracer and merges ``tags`` into the args of every span,
+    completed region, instant, and decision recorded through it.  The
+    serving layer uses this to make concurrent worker traces
+    attributable after they merge into one shared tracer: each worker's
+    session records through ``TaggedTracer(tracer, worker_id=i)``, so
+    every executor node span in the combined trace carries the worker
+    that ran it (and batch spans carry the ``request_id`` list).
+
+    Counter samples are forwarded *untagged* — their values are numeric
+    series, and injecting a constant ``worker_id`` series into the
+    ``memory`` track would corrupt the timeline rendering.
+
+    Explicit tags win over colliding call-site args so a worker cannot
+    accidentally mislabel itself.
+    """
+
+    def __init__(self, inner: NoopTracer, **tags: Any) -> None:
+        self._inner = inner
+        self.tags = tags
+
+    @property
+    def enabled(self) -> bool:
+        return self._inner.enabled
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._inner.metrics
+
+    def tagged(self, **tags: Any) -> "TaggedTracer":
+        """A further-specialized proxy (same inner tracer, merged tags)."""
+        return TaggedTracer(self._inner, **{**self.tags, **tags})
+
+    def now_us(self) -> float:
+        return self._inner.now_us()
+
+    def span(self, name: str, category: str = "", **args):
+        return self._inner.span(name, category, **{**args, **self.tags})
+
+    def complete(self, name: str, start_us: float, duration_us: float,
+                 category: str = "", **args) -> None:
+        self._inner.complete(name, start_us, duration_us, category,
+                             **{**args, **self.tags})
+
+    def instant(self, name: str, category: str = "", **args) -> None:
+        self._inner.instant(name, category, **{**args, **self.tags})
+
+    def counter(self, track: str, ts_us: float | None = None,
+                **values) -> None:
+        self._inner.counter(track, ts_us=ts_us, **values)
+
+    def decision(self, pass_name: str, subject: str, verdict: str,
+                 reason: str = "", **quantities) -> None:
+        self._inner.decision(pass_name, subject, verdict, reason,
+                             **{**quantities, **self.tags})
 
 
 # ---------------------------------------------------------------------------

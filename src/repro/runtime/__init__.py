@@ -4,6 +4,7 @@ from .allocator import AllocationError, TensorAllocator
 from .arena import ArenaPlan, ArenaSlot, execute_in_arena, plan_arena
 from .engine import InferenceSession, TimingResult
 from .executor import ExecutionResult, NodeTiming, execute
+from .ledger import AllocationLedger, LedgerEvent, TensorLifetime
 from .memory_profile import MemoryEvent, MemoryProfile
 from .parallel import ParallelRunner, shard_batch
 from .report import (compare_markdown, metrics_markdown, op_breakdown,
@@ -22,6 +23,9 @@ __all__ = [
     "ExecutionResult",
     "NodeTiming",
     "execute",
+    "AllocationLedger",
+    "LedgerEvent",
+    "TensorLifetime",
     "MemoryEvent",
     "MemoryProfile",
     "ParallelRunner",

@@ -40,6 +40,9 @@ class TensorAllocator:
     #: optional enabled tracer (set by the executor); when present, every
     #: alloc/free emits an instant event on the ``allocator`` category
     tracer: Any = field(default=None, repr=False, compare=False)
+    #: optional :class:`~repro.runtime.ledger.AllocationLedger` (set by
+    #: the executor); when present, every event is appended to it
+    ledger: Any = field(default=None, repr=False, compare=False)
 
     def alloc(self, value: Value) -> None:
         if value.name in self._live:
@@ -52,6 +55,8 @@ class TensorAllocator:
         if self.current_bytes > self.peak_bytes:
             self.peak_bytes = self.current_bytes
             self.peak_live_set = dict(self._live)
+        if self.ledger is not None:
+            self.ledger.record("alloc", value.name, nbytes, self.current_bytes)
         if self.tracer is not None:
             self.tracer.instant("alloc", category="allocator",
                                 value=value.name, bytes=nbytes,
@@ -65,6 +70,8 @@ class TensorAllocator:
         self.current_bytes -= nbytes
         if self.current_bytes < 0:  # pragma: no cover - defensive
             raise AllocationError("negative live bytes: accounting bug")
+        if self.ledger is not None:
+            self.ledger.record("free", value.name, nbytes, self.current_bytes)
         if self.tracer is not None:
             self.tracer.instant("free", category="allocator",
                                 value=value.name, bytes=nbytes,
@@ -80,6 +87,8 @@ class TensorAllocator:
             self.peak_bytes = candidate
             self.peak_live_set = dict(self._live)
             self.peak_live_set["<scratch>"] = int(nbytes)
+        if self.ledger is not None:
+            self.ledger.record("scratch", "<scratch>", int(nbytes), candidate)
         if self.tracer is not None:
             self.tracer.instant("scratch", category="allocator",
                                 bytes=int(nbytes), live_bytes=candidate)

@@ -25,6 +25,7 @@ from ..ir.graph import Graph
 from ..ir.value import Value
 from ..obs import get_tracer
 from .allocator import TensorAllocator
+from .ledger import AllocationLedger
 from .memory_profile import MemoryEvent, MemoryProfile
 
 __all__ = ["execute", "ExecutionResult", "NodeTiming"]
@@ -65,6 +66,7 @@ _INPLACE_OPS = frozenset(("relu", "silu", "sigmoid", "tanh",
 
 def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
             record_timings: bool = False,
+            record_ledger: bool = False,
             count_fused_scratch: bool = False,
             inplace_activations: bool = False,
             check_leaks: bool = True,
@@ -76,6 +78,12 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
     ----------
     record_timings:
         Collect per-node wall-clock times (Figure 11).
+    record_ledger:
+        Record every allocator event (tensor, bytes, owning node,
+        timestamp) into an
+        :class:`~repro.runtime.ledger.AllocationLedger`, attached to
+        the result as ``result.memory.ledger``.  The ledger is the
+        input of the conformance auditor (:mod:`repro.obs.audit`).
     count_fused_scratch:
         If True, the fused kernels' channel-block tiles are charged to
         the allocator as transient scratch (the honest-accounting
@@ -106,7 +114,11 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
     allocator = TensorAllocator()
     if tracing:
         allocator.tracer = tracer
-    profile = MemoryProfile(weight_bytes=graph.weight_bytes())
+    ledger: AllocationLedger | None = None
+    if record_ledger:
+        ledger = allocator.ledger = AllocationLedger()
+        ledger.position(-1, "")  # graph-input binding phase
+    profile = MemoryProfile(weight_bytes=graph.weight_bytes(), ledger=ledger)
     timings: list[NodeTiming] = []
 
     # reference counts: number of consuming nodes (+1 for graph outputs so
@@ -138,6 +150,8 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
 
     output_names = {v.name for v in graph.outputs}
     for index, node in enumerate(graph.nodes):
+        if ledger is not None:
+            ledger.position(index, node.name)
         in_arrays = [env[v.name] for v in node.inputs]
         start = time.perf_counter() if record_timings else 0.0
         span_start = tracer.now_us() if tracing else 0.0

@@ -1,0 +1,264 @@
+"""Allocation ledger: a verifiable event log of every alloc/free.
+
+The :class:`AllocationLedger` is the runtime's source of truth for
+*attributable* memory: every allocator event is recorded with the
+tensor name, byte size, the schedule position (owner node) at which it
+fired, a timestamp, and the allocator's live-byte total *after* the
+event.  Because each event carries both the delta (``nbytes``) and the
+claimed running total (``live_bytes``), the whole log is
+self-checking: :meth:`AllocationLedger.verify` replays the deltas from
+zero and flags any event whose claimed total disagrees with the
+replay — a corrupted or fabricated ledger cannot pass.
+
+The ledger feeds three consumers:
+
+- the enriched :class:`~repro.runtime.memory_profile.MemoryProfile`
+  (``profile.ledger``) produced by ``execute(..., record_ledger=True)``,
+- the conformance auditor (:mod:`repro.obs.audit`), which cross-checks
+  the replayed peak against the static liveness prediction and the
+  arena plan,
+- per-tensor lifetime reports (:meth:`lifetimes`), optionally annotated
+  with arena offsets from an :class:`~repro.runtime.arena.ArenaPlan`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+__all__ = ["LedgerEvent", "TensorLifetime", "AllocationLedger"]
+
+#: event kinds a ledger records
+ACTIONS = ("alloc", "free", "scratch")
+
+
+@dataclass(frozen=True)
+class LedgerEvent:
+    """One allocator event, self-describing and replayable.
+
+    ``live_bytes`` is the allocator's live total *after* the event
+    (for ``scratch`` events: the transient ``live + scratch`` peak
+    candidate, since scratch never stays resident).
+    """
+
+    seq: int
+    action: str  # "alloc" | "free" | "scratch"
+    value: str
+    nbytes: int
+    #: schedule index active when the event fired (-1 while binding
+    #: graph inputs)
+    node_index: int
+    #: name of the executing node ("" while binding graph inputs)
+    node_name: str
+    live_bytes: int
+    ts_us: float
+
+
+@dataclass(frozen=True)
+class TensorLifetime:
+    """The alloc-to-free span of one tensor, derived from the ledger."""
+
+    value: str
+    nbytes: int
+    #: node whose execution allocated the tensor ("" for graph inputs)
+    owner: str
+    alloc_index: int
+    #: schedule index of the free; None = still live at end of
+    #: inference (graph outputs)
+    free_index: int | None
+    alloc_ts_us: float
+    free_ts_us: float | None
+    #: offset inside the arena plan, when one was supplied
+    offset: int | None = None
+
+    @property
+    def lifetime_indices(self) -> int | None:
+        """Schedule-slot lifespan (the paper's DISTANCE), if freed."""
+        if self.free_index is None:
+            return None
+        return self.free_index - self.alloc_index
+
+
+@dataclass
+class AllocationLedger:
+    """Ordered, timestamped record of one inference's allocator events."""
+
+    events: list[LedgerEvent] = field(default_factory=list)
+    clock: Callable[[], float] = field(default=time.perf_counter, repr=False)
+
+    def __post_init__(self) -> None:
+        self._epoch = self.clock()
+        self._index = -1
+        self._node = ""
+
+    # -- recording (driven by the executor / allocator) -----------------
+
+    def position(self, index: int, node_name: str) -> None:
+        """Set the schedule position attributed to subsequent events."""
+        self._index = index
+        self._node = node_name
+
+    def record(self, action: str, value: str, nbytes: int,
+               live_bytes: int) -> None:
+        if action not in ACTIONS:
+            raise ValueError(f"unknown ledger action {action!r}")
+        self.events.append(LedgerEvent(
+            seq=len(self.events), action=action, value=value,
+            nbytes=int(nbytes), node_index=self._index,
+            node_name=self._node, live_bytes=int(live_bytes),
+            ts_us=(self.clock() - self._epoch) * 1e6))
+
+    # -- derived views ---------------------------------------------------
+
+    def replay(self) -> list[int]:
+        """Recompute the live-byte total after each event from the
+        per-event deltas alone (ignoring the claimed ``live_bytes``).
+        ``scratch`` entries contribute a transient ``live + scratch``
+        sample without changing the running total."""
+        live = 0
+        series: list[int] = []
+        for event in self.events:
+            if event.action == "alloc":
+                live += event.nbytes
+                series.append(live)
+            elif event.action == "free":
+                live -= event.nbytes
+                series.append(live)
+            else:  # scratch: transient, does not stay resident
+                series.append(live + event.nbytes)
+        return series
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak of the replayed live-byte trajectory."""
+        return max(self.replay(), default=0)
+
+    @property
+    def max_live_bytes(self) -> int:
+        """Peak of resident (non-scratch) bytes over the replay."""
+        live = peak = 0
+        for event in self.events:
+            if event.action == "alloc":
+                live += event.nbytes
+                peak = max(peak, live)
+            elif event.action == "free":
+                live -= event.nbytes
+        return peak
+
+    def live_at_end(self) -> dict[str, int]:
+        """Tensors never freed (name -> bytes): the graph outputs."""
+        live: dict[str, int] = {}
+        for event in self.events:
+            if event.action == "alloc":
+                live[event.value] = event.nbytes
+            elif event.action == "free":
+                live.pop(event.value, None)
+        return live
+
+    def lifetimes(self, plan=None) -> list[TensorLifetime]:
+        """Per-tensor alloc/free spans, in allocation order.
+
+        ``plan`` (an :class:`~repro.runtime.arena.ArenaPlan`) annotates
+        each lifetime with the tensor's planned arena offset; tensors
+        the plan does not cover keep ``offset=None``.
+        """
+        offsets: dict[str, int] = {}
+        if plan is not None:
+            offsets = {slot.value_name: slot.offset for slot in plan.slots}
+        open_events: dict[str, LedgerEvent] = {}
+        out: list[TensorLifetime] = []
+        order: dict[str, int] = {}
+        for event in self.events:
+            if event.action == "alloc":
+                open_events[event.value] = event
+                order[event.value] = len(out)
+                out.append(TensorLifetime(
+                    value=event.value, nbytes=event.nbytes,
+                    owner=event.node_name, alloc_index=event.node_index,
+                    free_index=None, alloc_ts_us=event.ts_us,
+                    free_ts_us=None, offset=offsets.get(event.value)))
+            elif event.action == "free" and event.value in open_events:
+                slot = order[event.value]
+                out[slot] = replace(out[slot], free_index=event.node_index,
+                                    free_ts_us=event.ts_us)
+                del open_events[event.value]
+        return out
+
+    # -- verification ----------------------------------------------------
+
+    def verify(self, *, expected_peak: int | None = None,
+               keep: set[str] = frozenset()) -> list[str]:
+        """Replay the ledger and return every inconsistency found.
+
+        An empty list means the ledger is internally consistent (and
+        matches ``expected_peak``, when given).  Checks:
+
+        - an ``alloc`` of an already-live tensor (double alloc),
+        - a ``free`` of a tensor that is not live (double/stray free),
+        - a negative or non-positive byte size,
+        - a claimed ``live_bytes`` that disagrees with the replayed
+          running total — this is what catches a corrupted entry,
+        - a negative replayed total,
+        - tensors still live at the end that are not in ``keep``,
+        - a replayed peak different from ``expected_peak``.
+        """
+        problems: list[str] = []
+        live: dict[str, int] = {}
+        total = peak = 0
+        for event in self.events:
+            if event.nbytes <= 0:
+                problems.append(
+                    f"event {event.seq}: non-positive size {event.nbytes} "
+                    f"for {event.value!r}")
+            if event.action == "alloc":
+                if event.value in live:
+                    problems.append(
+                        f"event {event.seq}: double alloc of {event.value!r}")
+                live[event.value] = event.nbytes
+                total += event.nbytes
+                peak = max(peak, total)
+                claimed = total
+            elif event.action == "free":
+                if event.value not in live:
+                    problems.append(
+                        f"event {event.seq}: free of non-live {event.value!r}")
+                else:
+                    if live[event.value] != event.nbytes:
+                        problems.append(
+                            f"event {event.seq}: {event.value!r} freed with "
+                            f"{event.nbytes} B but allocated with "
+                            f"{live[event.value]} B")
+                    del live[event.value]
+                total -= event.nbytes
+                peak = max(peak, total)
+                claimed = total
+            elif event.action == "scratch":
+                claimed = total + event.nbytes
+                peak = max(peak, claimed)
+            else:
+                problems.append(
+                    f"event {event.seq}: unknown action {event.action!r}")
+                continue
+            if total < 0:
+                problems.append(
+                    f"event {event.seq}: replayed live bytes negative "
+                    f"({total})")
+            if claimed != event.live_bytes:
+                problems.append(
+                    f"event {event.seq}: claims {event.live_bytes} live B "
+                    f"but the replay gives {claimed}")
+        leaked = set(live) - set(keep)
+        if leaked:
+            problems.append(f"tensors never freed: {sorted(leaked)}")
+        if expected_peak is not None and peak != expected_peak:
+            problems.append(
+                f"replayed peak {peak} B != expected {expected_peak} B")
+        return problems
+
+    def summary(self) -> str:
+        mib = 1024 * 1024
+        allocs = sum(1 for e in self.events if e.action == "alloc")
+        frees = sum(1 for e in self.events if e.action == "free")
+        return (f"{len(self.events)} events ({allocs} allocs, {frees} frees), "
+                f"peak {self.peak_bytes / mib:.2f} MiB")

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .ledger import AllocationLedger
+
 __all__ = ["MemoryEvent", "MemoryProfile"]
 
 
@@ -46,6 +48,9 @@ class MemoryProfile:
     num_allocations: int = 0
     #: peak transient scratch of fused kernels (reported separately)
     peak_scratch_bytes: int = 0
+    #: full alloc/free event log, recorded when the executor ran with
+    #: ``record_ledger=True`` (see :mod:`repro.runtime.ledger`)
+    ledger: AllocationLedger | None = None
 
     @property
     def peak_total_bytes(self) -> int:

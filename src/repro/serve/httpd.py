@@ -7,6 +7,9 @@ library (the repo's no-new-deps rule):
   server accepts work, 503 once closed or a worker died,
 - ``GET /stats`` — the server's metrics snapshot (queue depth,
   latency/batch histograms, shed/reject counters),
+- ``GET /metrics`` — the same registry in Prometheus text exposition
+  format (version 0.0.4), scrapeable as-is; see
+  :mod:`repro.obs.prometheus` and ``docs/serving.md``,
 - ``POST /infer`` — body ``{"inputs": {name: nested-list}, optional
   "deadline_ms": float}``; replies ``{"outputs": {...},
   "latency_ms": float}``.  Overload maps to **429**, an expired
@@ -27,6 +30,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from ..obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from ..obs.prometheus import prometheus_text
 from .server import (DeadlineExceeded, InferenceServer, Overloaded,
                      ServerClosed)
 
@@ -44,9 +49,13 @@ class _Handler(BaseHTTPRequestHandler):
         logger.debug("http: " + fmt, *args)
 
     def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+        self._reply_raw(status, json.dumps(payload).encode(),
+                        "application/json")
+
+    def _reply_raw(self, status: int, body: bytes,
+                   content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -63,6 +72,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(503, {"status": "unavailable"})
         elif self.path == "/stats":
             self._reply(200, {"stats": server.stats()})
+        elif self.path == "/metrics":
+            stats = server.stats()
+            text = prometheus_text(
+                server.metrics,
+                extra_gauges={key: stats[key] for key in (
+                    "serve.queue_depth", "serve.in_flight",
+                    "serve.workers", "serve.graph_batch")})
+            self._reply_raw(200, text.encode(), PROMETHEUS_CONTENT_TYPE)
         else:
             self._reply(404, {"error": f"no such endpoint {self.path!r}"})
 

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ir.graph import Graph
-from ..obs import MetricsRegistry, NOOP_TRACER
+from ..obs import MetricsRegistry, NOOP_TRACER, TaggedTracer, get_tracer
 from ..runtime.engine import InferenceSession
 from .batcher import Shard, assemble, request_samples, scatter
 
@@ -147,11 +147,13 @@ class InferenceServer:
     """
 
     def __init__(self, graph: Graph, config: ServerConfig | None = None, *,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 tracer=None) -> None:
         graph.validate()
         self.graph = graph
         self.config = config or ServerConfig()
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.graph_batch = graph.inputs[0].shape[0]
         self.max_batch = self.config.max_batch or self.graph_batch
         self._lock = threading.Lock()
@@ -164,10 +166,18 @@ class InferenceServer:
         self._ids = itertools.count()
         # one warm session per worker: sessions keep per-run mutable
         # state (last_result), so they are per-thread, while the
-        # read-only graph and its weights are shared
+        # read-only graph and its weights are shared.  When tracing,
+        # each worker records through a TaggedTracer stamping its
+        # worker_id, so the merged timeline stays attributable.
+        if self.tracer.enabled:
+            self._worker_tracers = [
+                TaggedTracer(self.tracer, worker_id=index)
+                for index in range(self.config.num_workers)]
+        else:
+            self._worker_tracers = [NOOP_TRACER] * self.config.num_workers
         self._sessions = [
-            InferenceSession(graph, tracer=NOOP_TRACER)
-            for _ in range(self.config.num_workers)]
+            InferenceSession(graph, tracer=self._worker_tracers[index])
+            for index in range(self.config.num_workers)]
 
     # -- lifecycle -----------------------------------------------------
 
@@ -181,7 +191,8 @@ class InferenceServer:
             self._started = True
         for index in range(self.config.num_workers):
             worker = threading.Thread(
-                target=self._worker_loop, args=(self._sessions[index],),
+                target=self._worker_loop,
+                args=(index, self._sessions[index]),
                 name=f"repro-serve-{index}", daemon=True)
             worker.start()
             self._workers.append(worker)
@@ -326,13 +337,13 @@ class InferenceServer:
             self._in_flight += len(taken)
         return taken
 
-    def _worker_loop(self, session: InferenceSession) -> None:
+    def _worker_loop(self, index: int, session: InferenceSession) -> None:
         while True:
             taken = self._take_batch()
             if taken is None:
                 return
             try:
-                self._run_batch(session, taken)
+                self._run_batch(index, session, taken)
             except BaseException as exc:  # noqa: BLE001 — fail the batch, not the server
                 logger.exception("serve worker failed on a batch")
                 for request in taken:
@@ -344,8 +355,9 @@ class InferenceServer:
                 with self._lock:
                     self._in_flight -= len(taken)
 
-    def _run_batch(self, session: InferenceSession,
+    def _run_batch(self, index: int, session: InferenceSession,
                    taken: list[_Request]) -> None:
+        tracer = self._worker_tracers[index]
         shards = assemble(self.graph,
                           [(request, request.inputs) for request in taken],
                           batch=self.graph_batch)
@@ -356,19 +368,31 @@ class InferenceServer:
         self.metrics.observe("serve.batch_requests", len(taken))
         self.metrics.observe(
             "serve.batch_samples", sum(r.samples for r in taken))
-        for shard in shards:
-            outputs = session.run(shard.inputs).outputs
-            self.metrics.inc("serve.batches")
-            self.metrics.inc("serve.padded_samples", shard.padding)
-            now = time.monotonic()
-            for request in scatter(shard, outputs, buffers, filled, totals):
-                latency = now - request.enqueued_at
-                request.future._resolve(buffers.pop(request), latency)
-                self.metrics.inc("serve.completed")
-                self.metrics.observe("serve.latency_ms", latency * 1e3)
-                if (request.deadline_at is not None
-                        and now > request.deadline_at):
-                    self.metrics.inc("serve.late_completions")
+        # the batch span carries the request ids it served (and, via
+        # the TaggedTracer, the worker_id); every per-node executor
+        # span recorded by session.run nests inside it
+        with tracer.span("serve.batch", category="serve",
+                         request_ids=[request.id for request in taken],
+                         requests=len(taken),
+                         samples=sum(r.samples for r in taken)):
+            for shard in shards:
+                outputs = session.run(shard.inputs).outputs
+                self.metrics.inc("serve.batches")
+                self.metrics.inc("serve.padded_samples", shard.padding)
+                now = time.monotonic()
+                for request in scatter(shard, outputs, buffers, filled,
+                                       totals):
+                    latency = now - request.enqueued_at
+                    request.future._resolve(buffers.pop(request), latency)
+                    self.metrics.inc("serve.completed")
+                    self.metrics.observe("serve.latency_ms", latency * 1e3)
+                    tracer.instant(
+                        "serve.request_done", category="serve",
+                        request_id=request.id, samples=request.samples,
+                        latency_ms=latency * 1e3)
+                    if (request.deadline_at is not None
+                            and now > request.deadline_at):
+                        self.metrics.inc("serve.late_completions")
 
     # -- introspection -------------------------------------------------
 

@@ -1,0 +1,124 @@
+"""Bench baselines: collection, persistence, and the regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (BenchConfig, collect_bench, compare_bench,
+                         format_comparison, load_bench, write_bench)
+
+#: one tiny model keeps the suite fast; the full gate runs in CI
+FAST = BenchConfig(models=("alexnet",), batch=2, hw=32, repeats=2)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return collect_bench(FAST, name="test")
+
+
+class TestCollect:
+    def test_document_shape(self, doc):
+        assert doc["schema"] == 1
+        assert doc["name"] == "test"
+        assert doc["config"]["models"] == ["alexnet"]
+        entry = doc["models"]["alexnet"]
+        assert set(entry["variants"]) == {"original", entry["best_variant"]}
+        for v in entry["variants"].values():
+            assert v["peak_bytes"] > 0
+            assert set(v["latency_ms"]) == {"p50", "p95", "p99"}
+            assert v["latency_ms"]["p50"] <= v["latency_ms"]["p99"]
+
+    def test_reduction_is_positive(self, doc):
+        assert doc["models"]["alexnet"]["reduction_pct"] > 0
+
+    def test_peaks_are_deterministic(self, doc):
+        again = collect_bench(FAST, name="again")
+        for model, entry in doc["models"].items():
+            for variant, v in entry["variants"].items():
+                assert again["models"][model]["variants"][variant][
+                    "peak_bytes"] == v["peak_bytes"]
+
+
+class TestPersistence:
+    def test_write_load_round_trip(self, doc, tmp_path):
+        path = write_bench(doc, tmp_path / "BENCH_test.json")
+        assert load_bench(path) == doc
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "models": {},
+                                    "config": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_bench(path)
+
+    def test_load_rejects_missing_sections(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 1}))
+        with pytest.raises(ValueError, match="config"):
+            load_bench(path)
+
+
+class TestGate:
+    def test_identical_documents_pass(self, doc):
+        comparison = compare_bench(doc, doc)
+        assert comparison.passed
+        assert comparison.deltas
+        assert all(d.peak_delta_pct == 0.0 for d in comparison.deltas)
+        assert "PASS" in format_comparison(comparison)
+
+    def test_peak_growth_fails_at_zero_tolerance(self, doc):
+        current = copy.deepcopy(doc)
+        entry = current["models"]["alexnet"]
+        best = entry["best_variant"]
+        entry["variants"][best]["peak_bytes"] += 4096
+        comparison = compare_bench(current, doc)
+        assert not comparison.passed
+        assert any("peak" in r and best in r for r in comparison.regressions)
+        assert "FAIL" in format_comparison(comparison)
+
+    def test_peak_growth_within_tolerance_passes(self, doc):
+        current = copy.deepcopy(doc)
+        entry = current["models"]["alexnet"]
+        peak = entry["variants"]["original"]["peak_bytes"]
+        entry["variants"]["original"]["peak_bytes"] = int(peak * 1.01)
+        assert not compare_bench(current, doc).passed
+        assert compare_bench(current, doc, peak_tolerance_pct=2.0).passed
+
+    def test_peak_improvement_is_not_a_regression(self, doc):
+        current = copy.deepcopy(doc)
+        entry = current["models"]["alexnet"]
+        entry["variants"]["original"]["peak_bytes"] //= 2
+        assert compare_bench(current, doc).passed
+
+    def test_latency_informational_by_default(self, doc):
+        current = copy.deepcopy(doc)
+        entry = current["models"]["alexnet"]
+        entry["variants"]["original"]["latency_ms"]["p50"] *= 10
+        assert compare_bench(current, doc).passed
+        gated = compare_bench(current, doc, latency_tolerance_pct=50.0)
+        assert not gated.passed
+        assert any("latency" in r for r in gated.regressions)
+
+    def test_missing_model_is_a_regression(self, doc):
+        current = copy.deepcopy(doc)
+        del current["models"]["alexnet"]
+        comparison = compare_bench(current, doc)
+        assert not comparison.passed
+        assert any("not measured" in r for r in comparison.regressions)
+
+    def test_missing_variant_is_a_regression(self, doc):
+        current = copy.deepcopy(doc)
+        del current["models"]["alexnet"]["variants"]["original"]
+        assert not compare_bench(current, doc).passed
+
+
+class TestConfig:
+    def test_config_round_trips_through_dict(self):
+        config = BenchConfig(models=("a", "b"), batch=3, hw=48, repeats=7)
+        assert BenchConfig.from_dict(config.to_dict()) == config
+
+    def test_compare_uses_baseline_config(self, doc):
+        # the baseline embeds its workload; from_dict must rebuild it
+        config = BenchConfig.from_dict(doc["config"])
+        assert config == FAST

@@ -271,3 +271,57 @@ class TestObservabilityCLI:
         assert main(["bench", "fig12", "--model", "alexnet", "--batch", "1",
                      "--hw", "16", "--trace", str(out)]) == 0
         assert "traceEvents" in json.loads(out.read_text())
+
+
+class TestMemcheckCLI:
+    def test_memcheck_passes_on_small_models(self, capsys):
+        assert main(["memcheck", "alexnet", "unet_small"]) == 0
+        out = capsys.readouterr().out
+        assert "memcheck passed" in out
+        assert "PASS alexnet" in out and "PASS unet_small" in out
+        # both variants of each model appear in the table
+        assert "original" in out and "fusion" in out
+
+    def test_memcheck_json_output(self, capsys):
+        assert main(["memcheck", "alexnet", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc[0]["model"] == "alexnet" and doc[0]["passed"] is True
+        assert doc[0]["original"]["measured_peak_bytes"] == \
+            doc[0]["original"]["predicted_peak_bytes"]
+
+    def test_memcheck_unknown_model_is_an_error(self, capsys):
+        assert main(["memcheck", "nope"]) == 2
+        assert "unknown zoo model" in capsys.readouterr().err
+
+    def test_memcheck_trace_carries_arena_track(self, capsys, tmp_path):
+        out = tmp_path / "memcheck.trace.json"
+        assert main(["memcheck", "alexnet", "--trace", str(out)]) == 0
+        events = json.loads(out.read_text())["traceEvents"]
+        tracks = {e["name"] for e in events if e.get("ph") == "C"}
+        assert {"memory", "arena"} <= tracks
+
+
+class TestBenchSuiteCLI:
+    def test_suite_writes_json_and_gate_round_trips(self, capsys, tmp_path):
+        baseline = tmp_path / "BENCH_base.json"
+        assert main(["bench", "--json", "--name", "base",
+                     "--models", "alexnet", "--batch", "2",
+                     "--repeats", "2", "--out", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "peak reduction" in out and baseline.exists()
+        assert main(["bench", "--compare", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "+0.00%" in out
+
+    def test_gate_fails_on_seeded_regression(self, capsys, tmp_path):
+        baseline = tmp_path / "BENCH_base.json"
+        assert main(["bench", "--json", "--name", "base",
+                     "--models", "alexnet", "--batch", "2",
+                     "--repeats", "2", "--out", str(baseline)]) == 0
+        capsys.readouterr()
+        doc = json.loads(baseline.read_text())
+        for variant in doc["models"]["alexnet"]["variants"].values():
+            variant["peak_bytes"] //= 2  # current peaks now look higher
+        baseline.write_text(json.dumps(doc))
+        assert main(["bench", "--compare", str(baseline)]) == 1
+        assert "FAIL" in capsys.readouterr().out

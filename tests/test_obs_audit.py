@@ -1,0 +1,115 @@
+"""Conformance auditor: clean passes, injected faults, arena track."""
+
+import pytest
+
+from repro.obs import Tracer, use_tracer
+from repro.obs.audit import (AuditFinding, audit_graph, audit_model,
+                             ledger_findings)
+from repro.runtime import AllocationLedger
+
+
+class TestAuditGraph:
+    def test_zoo_model_passes_clean(self):
+        from repro.models import build_model
+        graph = build_model("alexnet", batch=2, hw=32)
+        audit = audit_graph(graph, model="alexnet", variant="original")
+        assert audit.passed, [f.message for f in audit.findings]
+        assert audit.measured_peak_bytes == audit.predicted_peak_bytes
+        assert audit.deviation_pct == 0.0
+        assert audit.measured_peak_bytes <= audit.arena_lower_bound_bytes
+        assert audit.arena_lower_bound_bytes <= audit.arena_bytes
+        assert audit.ledger_events > 0
+
+    def test_to_dict_round_trips_the_essentials(self):
+        from repro.models import build_model
+        graph = build_model("alexnet", batch=1, hw=32)
+        doc = audit_graph(graph, model="alexnet").to_dict()
+        assert doc["passed"] is True
+        assert doc["measured_peak_bytes"] == doc["predicted_peak_bytes"]
+        assert doc["findings"] == []
+
+    def test_tolerance_validates_exactness_not_slack(self):
+        # tolerance is a *bound*: a 0.0 default must still pass because
+        # the executor implements the liveness model exactly
+        from repro.models import build_model
+        graph = build_model("unet_small", batch=2, hw=32)
+        audit = audit_graph(graph, tolerance=0.0)
+        assert audit.passed
+
+
+class TestAuditModel:
+    def test_original_and_optimized_both_audited(self):
+        result = audit_model("alexnet", batch=2, hw=32)
+        assert result.passed
+        assert result.original.variant == "original"
+        assert result.optimized.variant != "original"
+        assert (result.optimized.measured_peak_bytes
+                < result.original.measured_peak_bytes)
+        assert result.reduction_pct > 0.0
+
+    def test_no_reduction_cross_check_fires(self):
+        # equal peaks demote to a warning, not an error
+        result = audit_model("alexnet", batch=2, hw=32)
+        result.optimized.measured_peak_bytes = \
+            result.original.measured_peak_bytes
+        # re-derive the cross-check the way audit_model does
+        from repro.obs.audit import AuditFinding
+        findings = []
+        if (result.optimized.measured_peak_bytes
+                > result.original.measured_peak_bytes):
+            findings.append(AuditFinding("no_reduction", "error", "x", ""))
+        elif (result.optimized.measured_peak_bytes
+                == result.original.measured_peak_bytes):
+            findings.append(AuditFinding("no_reduction", "warning", "x", ""))
+        assert findings and findings[0].severity == "warning"
+
+
+class TestLedgerFindings:
+    def test_corrupted_ledger_becomes_error_finding(self):
+        ledger = AllocationLedger()
+        ledger.record("alloc", "x", 100, 100)
+        ledger.record("alloc", "y", 50, 999)  # lies about the total
+        findings = ledger_findings(ledger, keep={"x", "y"}, subject="t")
+        assert findings
+        assert all(isinstance(f, AuditFinding) for f in findings)
+        assert all(f.kind == "ledger_inconsistent" for f in findings)
+        assert all(f.severity == "error" for f in findings)
+
+
+class TestArenaTrack:
+    def test_audit_emits_aligned_arena_counter_track(self):
+        from repro.models import build_model
+        graph = build_model("alexnet", batch=2, hw=32)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            audit = audit_graph(graph, model="alexnet")
+        assert audit.passed
+        arena_samples = [s for s in tracer.counters if s.track == "arena"]
+        assert arena_samples, "audit under a tracer must emit the arena track"
+        occupied = [s.values["occupied_bytes"] for s in arena_samples]
+        assert max(occupied) == audit.arena_lower_bound_bytes
+        assert all(s.values["arena_bytes"] == audit.arena_bytes
+                   for s in arena_samples)
+        # samples are timestamped inside the recorded span window
+        span_end = max(s.start_us + s.duration_us for s in tracer.spans)
+        assert all(0 <= s.ts_us <= span_end for s in arena_samples)
+        verdicts = [i for i in tracer.instants if i.name == "audit_verdict"]
+        assert len(verdicts) == 1 and verdicts[0].args["passed"] is True
+
+    def test_no_tracer_no_track(self):
+        from repro.models import build_model
+        graph = build_model("alexnet", batch=1, hw=32)
+        audit = audit_graph(graph)  # ambient tracer is the no-op
+        assert audit.passed
+
+
+class TestDeviationPct:
+    def test_zero_predicted_peak_edge(self):
+        audit_zero = pytest.importorskip("repro.obs.audit")
+        ga = audit_zero.GraphAudit(
+            model="m", variant="v", graph_name="g",
+            measured_peak_bytes=0, predicted_peak_bytes=0,
+            arena_bytes=0, arena_lower_bound_bytes=0,
+            ledger_events=0, num_allocations=0)
+        assert ga.deviation_pct == 0.0
+        assert ga.passed

@@ -41,7 +41,21 @@ class TestHistogram:
         h = Histogram()
         assert h.quantile(0.5) == 0.0
         assert h.mean == 0.0
-        assert h.snapshot() == {"count": 0}
+        # empty snapshot carries the full key set, all zero — scrapers
+        # and the Prometheus renderer never see a shape change
+        snap = h.snapshot()
+        assert set(snap) == {"count", "sum", "mean", "min", "max",
+                             "p50", "p95", "p99"}
+        assert all(v == 0.0 for v in snap.values())
+
+    def test_single_sample_histogram(self):
+        h = Histogram()
+        h.observe(7.0)
+        snap = h.snapshot()
+        assert snap["count"] == 1 and snap["sum"] == 7.0
+        # every quantile of a single-sample series is that sample
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 7.0
+        assert snap["min"] == snap["max"] == 7.0
 
     def test_bad_args_rejected(self):
         with pytest.raises(ValueError, match="max_samples"):
@@ -53,7 +67,8 @@ class TestHistogram:
         h = Histogram()
         h.observe(10.0)
         snap = h.snapshot()
-        assert set(snap) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+        assert set(snap) == {"count", "sum", "mean", "min", "max",
+                             "p50", "p95", "p99"}
 
 
 class TestRegistryHistograms:
@@ -65,7 +80,20 @@ class TestRegistryHistograms:
         assert q["count"] == 2 and q["p50"] == pytest.approx(10.0)
 
     def test_quantiles_of_unknown_histogram(self):
-        assert MetricsRegistry().quantiles("nope") == {"count": 0}
+        q = MetricsRegistry().quantiles("nope")
+        assert q["count"] == 0.0 and q["p99"] == 0.0
+        assert set(q) == {"count", "sum", "mean", "min", "max",
+                          "p50", "p95", "p99"}
+
+    def test_export_groups_by_kind(self):
+        m = MetricsRegistry()
+        m.inc("runs")
+        m.gauge("peak", 7)
+        m.observe("lat", 3.0)
+        counters, gauges, histograms = m.export()
+        assert counters == {"runs": 1.0}
+        assert gauges == {"peak": 7.0}
+        assert histograms["lat"]["count"] == 1
 
     def test_snapshot_flattens_histograms_sorted(self):
         m = MetricsRegistry()

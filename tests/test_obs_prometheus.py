@@ -1,0 +1,95 @@
+"""Prometheus text exposition: grammar, values, endpoint round-trip."""
+
+import re
+
+from repro.obs import MetricsRegistry, prometheus_metric_name, prometheus_text
+from repro.obs.prometheus import CONTENT_TYPE
+
+#: exposition grammar: a sample line is NAME{labels} VALUE
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})? "
+    r"(?P<value>-?(?:\d+\.?\d*(?:e-?\d+)?|[+-]?Inf|NaN))$")
+
+
+def parse_exposition(text: str) -> dict[tuple[str, str], float]:
+    """Parse samples; every non-comment line must match the grammar."""
+    samples: dict[tuple[str, str], float] = {}
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ",
+                            line), line
+            continue
+        match = _SAMPLE.match(line)
+        assert match, f"invalid exposition line: {line!r}"
+        samples[(match["name"], match["labels"] or "")] = \
+            float(match["value"])
+    return samples
+
+
+class TestMetricName:
+    def test_dotted_names_flatten_and_namespace(self):
+        assert prometheus_metric_name("serve.latency_ms") == \
+            "repro_serve_latency_ms"
+
+    def test_invalid_chars_become_underscores(self):
+        name = prometheus_metric_name("a-b c/d.e")
+        assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name)
+
+    def test_leading_digit_guarded(self):
+        name = prometheus_metric_name("9lives", namespace="")
+        assert not name[0].isdigit()
+
+
+class TestExposition:
+    def test_counters_gauges_histograms_render(self):
+        m = MetricsRegistry()
+        m.inc("serve.requests", 3)
+        m.gauge("serve.queue_depth", 7)
+        for v in (5.0, 15.0, 25.0):
+            m.observe("serve.latency_ms", v)
+        samples = parse_exposition(prometheus_text(m))
+        assert samples[("repro_serve_requests_total", "")] == 3.0
+        assert samples[("repro_serve_queue_depth", "")] == 7.0
+        assert samples[("repro_serve_latency_ms",
+                        '{quantile="0.5"}')] == 15.0
+        assert samples[("repro_serve_latency_ms_sum", "")] == 45.0
+        assert samples[("repro_serve_latency_ms_count", "")] == 3.0
+        assert samples[("repro_serve_latency_ms_min", "")] == 5.0
+        assert samples[("repro_serve_latency_ms_max", "")] == 25.0
+
+    def test_large_byte_counts_not_truncated(self):
+        m = MetricsRegistry()
+        m.gauge("peak_bytes", 1_572_864_123)
+        text = prometheus_text(m)
+        assert "1572864123" in text
+
+    def test_empty_registry_is_valid_empty_document(self):
+        assert prometheus_text(MetricsRegistry()) == "\n"
+
+    def test_single_sample_histogram_renders_that_sample(self):
+        m = MetricsRegistry()
+        m.observe("lat", 4.5)
+        samples = parse_exposition(prometheus_text(m))
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert samples[("repro_lat",
+                            f'{{quantile="{quantile}"}}')] == 4.5
+
+    def test_extra_gauges_merge(self):
+        m = MetricsRegistry()
+        samples = parse_exposition(prometheus_text(
+            m, extra_gauges={"serve.in_flight": 2.0}))
+        assert samples[("repro_serve_in_flight", "")] == 2.0
+
+    def test_type_lines_precede_samples(self):
+        m = MetricsRegistry()
+        m.inc("runs")
+        lines = prometheus_text(m).strip().splitlines()
+        type_at = next(i for i, l in enumerate(lines)
+                       if l.startswith("# TYPE repro_runs_total"))
+        sample_at = next(i for i, l in enumerate(lines)
+                         if l.startswith("repro_runs_total "))
+        assert type_at < sample_at
+
+    def test_content_type_declares_004(self):
+        assert "version=0.0.4" in CONTENT_TYPE

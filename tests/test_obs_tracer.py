@@ -3,8 +3,8 @@ and the zero-cost guarantee of the no-op default."""
 
 import pytest
 
-from repro.obs import (NOOP_TRACER, MetricsRegistry, NoopTracer, Tracer,
-                       get_tracer, set_tracer, use_tracer)
+from repro.obs import (NOOP_TRACER, MetricsRegistry, NoopTracer, TaggedTracer,
+                       Tracer, get_tracer, set_tracer, use_tracer)
 from repro.runtime import execute
 
 from _graph_fixtures import make_chain_graph, random_input
@@ -137,6 +137,45 @@ class TestAmbientTracer:
         finally:
             set_tracer(None)
         assert get_tracer() is NOOP_TRACER
+
+
+class TestTaggedTracer:
+    def test_tags_stamped_on_every_record_kind(self):
+        inner = Tracer()
+        t = TaggedTracer(inner, worker_id=3)
+        with t.span("serve.batch", category="serve", request_ids=[1, 2]):
+            pass
+        t.complete("node", 0.0, 1.0, index=0)
+        t.instant("serve.request_done", request_id=1)
+        t.decision("fusion", "f", "fuse")
+        assert all(s.args["worker_id"] == 3 for s in inner.spans)
+        assert inner.spans[0].args["request_ids"] == [1, 2]
+        assert inner.instants[0].args == {"request_id": 1, "worker_id": 3}
+        assert inner.decisions[0].quantities["worker_id"] == 3
+
+    def test_counters_forward_untagged(self):
+        inner = Tracer()
+        TaggedTracer(inner, worker_id=3).counter("memory", live_bytes=10)
+        assert inner.counters[0].values == {"live_bytes": 10}
+
+    def test_explicit_tags_win_over_callsite_args(self):
+        inner = Tracer()
+        t = TaggedTracer(inner, worker_id=3)
+        t.instant("i", worker_id=99)
+        assert inner.instants[0].args["worker_id"] == 3
+
+    def test_tagged_returns_merged_proxy_on_same_inner(self):
+        inner = Tracer()
+        t = TaggedTracer(inner, worker_id=1).tagged(request_id=7)
+        t.instant("i")
+        assert inner.instants[0].args == {"worker_id": 1, "request_id": 7}
+
+    def test_enabled_and_metrics_forward(self):
+        inner = Tracer()
+        t = TaggedTracer(inner, worker_id=0)
+        assert t.enabled is True
+        assert t.metrics is inner.metrics
+        assert TaggedTracer(NOOP_TRACER, worker_id=0).enabled is False
 
 
 class _ExplodingDisabledTracer(NoopTracer):

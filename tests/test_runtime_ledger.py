@@ -1,0 +1,172 @@
+"""AllocationLedger: recording, replay, lifetimes, tamper detection."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.runtime import AllocationLedger, plan_arena
+from repro.runtime.executor import execute
+
+
+def _inputs(graph, seed=0):
+    rng = np.random.default_rng(seed)
+    return {v.name: rng.normal(size=v.shape).astype(v.dtype.np)
+            for v in graph.inputs}
+
+
+@pytest.fixture(scope="module")
+def alexnet_run():
+    graph = build_model("alexnet", batch=2, hw=32)
+    result = execute(graph, _inputs(graph), record_ledger=True)
+    return graph, result
+
+
+class TestRecording:
+    def test_manual_record_and_replay(self):
+        ledger = AllocationLedger()
+        ledger.position(0, "conv1")
+        ledger.record("alloc", "a", 100, 100)
+        ledger.record("alloc", "b", 50, 150)
+        ledger.position(1, "conv2")
+        ledger.record("free", "a", 100, 50)
+        assert ledger.replay() == [100, 150, 50]
+        assert ledger.peak_bytes == 150
+        assert ledger.max_live_bytes == 150
+        assert ledger.live_at_end() == {"b": 50}
+        assert ledger.verify(keep={"b"}) == []
+
+    def test_scratch_is_transient(self):
+        ledger = AllocationLedger()
+        ledger.position(0, "fused")
+        ledger.record("alloc", "out", 100, 100)
+        ledger.record("scratch", "<scratch>", 40, 140)
+        assert ledger.replay() == [100, 140]
+        assert ledger.peak_bytes == 140
+        # scratch never stays resident
+        assert ledger.max_live_bytes == 100
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown ledger action"):
+            AllocationLedger().record("realloc", "x", 1, 1)
+
+    def test_events_carry_schedule_position(self, alexnet_run):
+        graph, result = alexnet_run
+        ledger = result.memory.ledger
+        # input binding happens at position -1, before any node
+        assert ledger.events[0].node_index == -1
+        names = {node.name for node in graph.nodes}
+        assert all(e.node_name in names for e in ledger.events
+                   if e.node_index >= 0)
+
+    def test_timestamps_monotonic(self, alexnet_run):
+        _graph, result = alexnet_run
+        ts = [e.ts_us for e in result.memory.ledger.events]
+        assert all(b >= a for a, b in zip(ts, ts[1:]))
+
+
+class TestExecutorIntegration:
+    def test_ledger_off_by_default(self):
+        graph = build_model("alexnet", batch=1, hw=32)
+        result = execute(graph, _inputs(graph))
+        assert result.memory.ledger is None
+
+    def test_replayed_peak_matches_profile(self, alexnet_run):
+        _graph, result = alexnet_run
+        ledger = result.memory.ledger
+        assert ledger.peak_bytes == result.memory.peak_internal_bytes
+
+    def test_verify_clean_run(self, alexnet_run):
+        graph, result = alexnet_run
+        ledger = result.memory.ledger
+        keep = {v.name for v in graph.outputs}
+        assert ledger.verify(
+            expected_peak=result.memory.peak_internal_bytes,
+            keep=keep) == []
+
+    def test_lifetimes_cover_every_alloc(self, alexnet_run):
+        graph, result = alexnet_run
+        ledger = result.memory.ledger
+        lifetimes = ledger.lifetimes()
+        allocs = [e for e in ledger.events if e.action == "alloc"]
+        assert len(lifetimes) == len(allocs)
+        outputs = {v.name for v in graph.outputs}
+        for lt in lifetimes:
+            if lt.value in outputs:
+                assert lt.free_index is None
+                assert lt.lifetime_indices is None
+            else:
+                assert lt.free_index is not None
+                assert lt.lifetime_indices >= 0
+                assert lt.free_ts_us >= lt.alloc_ts_us
+
+    def test_lifetimes_annotated_with_arena_offsets(self, alexnet_run):
+        graph, result = alexnet_run
+        plan = plan_arena(graph)
+        planned = {slot.value_name for slot in plan.slots}
+        lifetimes = result.memory.ledger.lifetimes(plan)
+        annotated = [lt for lt in lifetimes if lt.value in planned]
+        assert annotated, "arena plan covers no ledger tensor?"
+        for lt in annotated:
+            assert lt.offset is not None
+            assert 0 <= lt.offset < plan.arena_bytes
+
+
+class TestTamperDetection:
+    """A deliberately corrupted ledger must be caught by verify()."""
+
+    def _clean_ledger(self):
+        graph = build_model("alexnet", batch=1, hw=32)
+        result = execute(graph, _inputs(graph), record_ledger=True)
+        keep = {v.name for v in graph.outputs}
+        ledger = result.memory.ledger
+        assert ledger.verify(keep=keep) == []
+        return ledger, keep
+
+    def test_corrupted_live_total_is_caught(self):
+        ledger, keep = self._clean_ledger()
+        victim = ledger.events[3]
+        ledger.events[3] = dataclasses.replace(
+            victim, live_bytes=victim.live_bytes + 4096)
+        problems = ledger.verify(keep=keep)
+        assert any("the replay gives" in p for p in problems)
+
+    def test_understated_size_is_caught(self):
+        ledger, keep = self._clean_ledger()
+        # shrink one alloc's nbytes: the claimed totals downstream no
+        # longer replay, and the matching free disagrees on size
+        index = next(i for i, e in enumerate(ledger.events)
+                     if e.action == "alloc" and e.node_index >= 0)
+        victim = ledger.events[index]
+        ledger.events[index] = dataclasses.replace(
+            victim, nbytes=victim.nbytes // 2)
+        assert ledger.verify(keep=keep) != []
+
+    def test_dropped_free_is_caught(self):
+        ledger, keep = self._clean_ledger()
+        index = next(i for i, e in enumerate(ledger.events)
+                     if e.action == "free")
+        del ledger.events[index]
+        problems = ledger.verify(keep=keep)
+        assert any("never freed" in p or "replay gives" in p
+                   for p in problems)
+
+    def test_double_alloc_is_caught(self):
+        ledger = AllocationLedger()
+        ledger.record("alloc", "x", 10, 10)
+        ledger.record("alloc", "x", 10, 20)
+        assert any("double alloc" in p for p in ledger.verify(keep={"x"}))
+
+    def test_stray_free_is_caught(self):
+        ledger = AllocationLedger()
+        ledger.record("free", "ghost", 10, -10)
+        problems = ledger.verify()
+        assert any("non-live" in p for p in problems)
+        assert any("negative" in p for p in problems)
+
+    def test_wrong_expected_peak_is_caught(self):
+        ledger, keep = self._clean_ledger()
+        problems = ledger.verify(expected_peak=ledger.peak_bytes + 1,
+                                 keep=keep)
+        assert any("expected" in p for p in problems)

@@ -88,6 +88,28 @@ class TestEndpoints:
         assert _get(f"{base}/nope")[0] == 404
         assert _post(f"{base}/nope", {})[0] == 404
 
+    def test_metrics_is_valid_prometheus_exposition(self, served):
+        from test_obs_prometheus import parse_exposition
+
+        _g, _server, base = served
+        x = np.zeros((1, 16, 12, 12), np.float32).tolist()
+        _post(f"{base}/infer", {"inputs": {"x": x}})
+        request = urllib.request.Request(f"{base}/metrics")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            body = response.read().decode()
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        samples = parse_exposition(body)
+        assert samples[("repro_serve_completed_total", "")] >= 1.0
+        assert samples[("repro_serve_requests_total", "")] >= 1.0
+        assert ("repro_serve_latency_ms", '{quantile="0.99"}') in samples
+        # the point-in-time extras ride along as gauges
+        assert samples[("repro_serve_workers", "")] == 1.0
+        assert ("repro_serve_in_flight", "") in samples
+        assert samples[("repro_serve_graph_batch", "")] == 4.0
+
     def test_healthz_unavailable_after_close(self):
         g = make_chain_graph(batch=4)
         server = InferenceServer(g, ServerConfig(max_wait_s=0.0)).start()

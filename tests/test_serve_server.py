@@ -215,3 +215,38 @@ class TestStatsAndConfig:
             ServerConfig(max_queue=0)
         with pytest.raises(ValueError, match="max_wait_s"):
             ServerConfig(max_wait_s=-1.0)
+
+
+class TestWorkerAttribution:
+    def test_spans_and_instants_carry_worker_and_request_ids(self):
+        from repro.obs import Tracer
+
+        g = make_chain_graph(batch=4)
+        tracer = Tracer()
+        config = ServerConfig(num_workers=2, max_wait_s=0.0)
+        with InferenceServer(g, config, tracer=tracer) as server:
+            futures = [server.submit(_sample(i)) for i in range(6)]
+            for future in futures:
+                future.result(10.0)
+        batches = [s for s in tracer.spans if s.name == "serve.batch"]
+        assert batches
+        served_ids = [i for s in batches for i in s.args["request_ids"]]
+        assert sorted(served_ids) == list(range(6))
+        assert all(s.args["worker_id"] in (0, 1) for s in batches)
+        # every executor node span inherits its worker's tag
+        node_spans = [s for s in tracer.spans if "index" in s.args]
+        assert node_spans
+        assert all(s.args["worker_id"] in (0, 1) for s in node_spans)
+        done = [i for i in tracer.instants if i.name == "serve.request_done"]
+        assert sorted(i.args["request_id"] for i in done) == list(range(6))
+        assert all("worker_id" in i.args for i in done)
+
+    def test_untraced_server_records_nothing(self):
+        from repro.obs import NOOP_TRACER
+
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0),
+                             tracer=NOOP_TRACER) as server:
+            server.submit(_sample(0)).result(10.0)
+        # sessions got the no-op tracer: nothing to assert beyond "works"
+        assert server.stats()["serve.completed"] == 1
