@@ -23,15 +23,29 @@ trace MODEL|FILE.npz
     Chrome trace (open in Perfetto / ``chrome://tracing``) carrying the
     compiler's decision log, per-node executor spans and the live-bytes
     counter track.
+profile MODEL|FILE.npz
+    Hot-path profiler: run a few traced inferences (decompose +
+    optimize first unless ``--no-optimize``) and rank op types and
+    layers by self time, with bytes moved, analytic FLOPs, arithmetic
+    intensity and fused scratch per row.  ``--flamegraph PATH`` writes
+    collapsed-stack input for ``flamegraph.pl`` / speedscope;
+    ``--json`` for machine-readable output.
 serve MODEL|FILE.npz
     Run the dynamic-batching inference server with a JSON/HTTP
-    frontend (``POST /infer``, ``GET /healthz``, ``GET /stats``).
-    ``--tuned`` serves the autotuned compiled plan from the tuning
-    cache.  See ``docs/serving.md``.
+    frontend (``POST /infer``, ``GET /healthz``, ``GET /stats``,
+    ``GET /metrics``, ``GET /slo``).  ``--tuned`` serves the autotuned
+    compiled plan from the tuning cache; ``--trace PATH`` records
+    request-lifecycle traces (admission spans, batch fan-in arrows,
+    per-request waterfalls); ``--slo SPEC`` attaches burn-rate
+    monitored objectives.  See ``docs/serving.md``.
 loadgen MODEL|FILE.npz
     Start an in-process server and drive it with an open- or
     closed-loop load generator; reports throughput and p50/p95/p99
-    latency (``--json`` for machine-readable output).
+    latency (``--json`` for machine-readable output).  ``--slo SPEC``
+    (repeatable; ``availability:0.99`` or ``latency:50:0.95``)
+    evaluates objectives over the run and **exits non-zero on
+    violation** — the CI gate; ``--trace PATH`` captures the full
+    serving trace.
 memcheck [MODEL ...]
     Memory conformance audit: run every requested zoo model (original
     *and* TeMCO-optimized) with the allocation ledger on and cross-check
@@ -47,9 +61,10 @@ bench [--json] [--name N] / bench --compare [BASELINE]
     baseline's own config and fails on peak regressions (the CI gate
     against the committed ``BENCH_baseline.json``).
 
-``optimize``, ``run`` and ``bench`` also accept ``--trace PATH`` (dump
-a Chrome trace / JSONL of the whole command) and ``--log-level`` (wire
-stdlib logging for the ``repro`` hierarchy), plus ``--tuned`` /
+``optimize``, ``run``, ``bench``, ``serve`` and ``loadgen`` also
+accept ``--trace PATH`` (dump a Chrome trace / JSONL of the whole
+command) and ``--log-level`` (wire stdlib logging for the ``repro``
+hierarchy), plus ``--tuned`` /
 ``--no-tune`` / ``--cache-dir DIR`` to reuse ``repro tune`` results
 (see ``docs/tuning.md``).
 """
@@ -76,7 +91,9 @@ from .decompose import DecompositionConfig, decompose_graph
 from .ir import (Graph, format_graph, load_graph, save_dot, save_graph,
                  summarize_graph)
 from .models import EXTRA_MODELS, MODEL_ZOO, build_extra, build_model
-from .obs import Tracer, configure_logging, use_tracer, write_trace
+from .obs import (SLOMonitor, Tracer, configure_logging, parse_slos,
+                  profile_tracer, use_tracer, write_collapsed_stacks,
+                  write_trace)
 from .runtime import (InferenceSession, metrics_markdown, plan_arena,
                       profile_markdown, timeline_csv)
 from .serve import (InferenceServer, LoadgenConfig, ServerConfig, resolve_plan,
@@ -101,8 +118,10 @@ def _obs_wrap(fn):
         with use_tracer(tracer):
             rc = fn(args)
         path = write_trace(tracer, trace_path)
+        # stderr: commands with --json keep stdout machine-parseable
         print(f"wrote trace ({len(tracer.spans)} spans, "
-              f"{len(tracer.decisions)} decisions) to {path}")
+              f"{len(tracer.decisions)} decisions) to {path}",
+              file=sys.stderr)
         return rc
     return wrapped
 
@@ -272,15 +291,25 @@ def _server_config(args) -> ServerConfig:
         batching=not args.no_batching)
 
 
+def _slo_monitor(args) -> SLOMonitor | None:
+    specs = getattr(args, "slo", None)
+    return SLOMonitor(parse_slos(specs)) if specs else None
+
+
 def _cmd_serve(args) -> int:
     plan = _serve_plan(args)
-    with InferenceServer(plan, _server_config(args)) as server:
+    slo = _slo_monitor(args)
+    with InferenceServer(plan, _server_config(args), slo=slo) as server:
         with serve_http(server, host=args.host, port=args.port) as frontend:
             host, port = frontend.address
             print(f"serving {plan.name!r} on http://{host}:{port} "
                   f"({args.workers} worker(s), graph batch "
                   f"{server.graph_batch}, queue bound {args.max_queue})")
-            print("endpoints: POST /infer, GET /healthz, GET /stats")
+            print("endpoints: POST /infer, GET /healthz, GET /stats, "
+                  "GET /metrics" + (", GET /slo" if slo else ""))
+            if slo:
+                for objective in slo.objectives:
+                    print(f"slo: {objective.describe()}")
             try:
                 if args.duration is not None:
                     time.sleep(args.duration)
@@ -290,6 +319,9 @@ def _cmd_serve(args) -> int:
                 print("\nshutting down")
         print(metrics_markdown(server.metrics,
                                title=f"{plan.name} serving metrics"))
+        if slo:
+            for status in slo.evaluate():
+                print(status.summary())
     return 0
 
 
@@ -301,21 +333,26 @@ def _cmd_loadgen(args) -> int:
         deadline_s=(args.deadline_ms / 1e3
                     if args.deadline_ms is not None else None),
         seed=args.seed)
-    with InferenceServer(plan, _server_config(args)) as server:
+    slo = _slo_monitor(args)
+    with InferenceServer(plan, _server_config(args), slo=slo) as server:
         report = run_loadgen(server, config)
         stats = server.stats()
+    # errors are always fatal; an unhealthy SLO is fatal when asked for
+    rc = 1 if report.errors or not report.slo_ok else 0
     if args.json:
         doc = report.to_dict()
         doc["server"] = stats
         print(json.dumps(doc, indent=2, sort_keys=True))
-        return 0 if report.errors == 0 else 1
+        return rc
     print(report.summary())
     print()
     rows = [[name, f"{value:g}"] for name, value in stats.items()
-            if name.startswith("serve.")]
+            if name.startswith(("serve.", "slo."))]
     print(format_table(["metric", "value"], rows,
                        title=f"{plan.name} server metrics"))
-    return 0 if report.errors == 0 else 1
+    if rc and not report.slo_ok:
+        print("\nSLO VIOLATED — failing (see the slo lines above)")
+    return rc
 
 
 def _cmd_trace(args) -> int:
@@ -356,6 +393,54 @@ def _cmd_trace(args) -> int:
             " (open at https://ui.perfetto.dev or chrome://tracing)")
     print(f"wrote trace to {out}{hint}")
     return 0 if ok else 1
+
+
+def _cmd_profile(args) -> int:
+    """Trace a few inferences and print the hot-path attribution."""
+    if args.log_level:
+        configure_logging(args.log_level)
+    graph = _load_model(args.model, args.batch, args.hw, args.seed)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        target = graph
+        if not args.no_optimize:
+            decomposed = decompose_graph(graph, DecompositionConfig(
+                method=args.method, ratio=args.ratio, seed=args.seed))
+            target, _report = optimize(decomposed)
+        rng = np.random.default_rng(args.seed)
+        inputs = {v.name: rng.normal(size=v.shape).astype(v.dtype.np)
+                  for v in target.inputs}
+        session = InferenceSession(target, tracer=tracer)
+        for _ in range(args.repeats):
+            session.run(inputs)
+    report = profile_tracer(tracer, model=target.name)
+    if args.json:
+        print(report.to_json())
+    else:
+        def table(stats, label):
+            rows = [[s.key, s.count, f"{s.total_us / 1e3:.2f}",
+                     f"{s.mean_us:.0f}", f"{s.share:.1%}",
+                     f"{s.total_bytes / MIB:.2f}", f"{s.flops / 1e9:.3f}",
+                     f"{s.intensity:.2f}", f"{s.gflops_per_s:.2f}",
+                     f"{s.scratch_bytes / 1024:.0f}"] for s in stats]
+            return format_table(
+                [label, "count", "total ms", "mean us", "share", "MiB moved",
+                 "GFLOP", "FLOP/B", "GFLOP/s", "scratch KiB"],
+                rows, title=f"{target.name} hot {label}s "
+                            f"({report.runs} traced run(s), "
+                            f"{report.total_us / 1e3:.2f} ms attributed)")
+        print(table(report.top_ops(args.top), "op"))
+        print()
+        print(table(report.top_nodes(args.top), "layer"))
+    if args.flamegraph:
+        path = write_collapsed_stacks(tracer, args.flamegraph)
+        print(f"wrote collapsed stacks to {path} "
+              f"(feed to flamegraph.pl or https://www.speedscope.app)",
+              file=sys.stderr)
+    if args.trace:
+        out = write_trace(tracer, args.trace)
+        print(f"wrote trace to {out}", file=sys.stderr)
+    return 0
 
 
 def _cmd_tune(args) -> int:
@@ -632,6 +717,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace the raw model without decompose+TeMCO")
     p.set_defaults(fn=_cmd_trace)
 
+    p = sub.add_parser("profile", help="hot-path profiler: per-op/per-layer "
+                                       "time, bytes, arithmetic intensity, "
+                                       "flamegraph export")
+    common(p)
+    obs_flags(p)
+    p.add_argument("--method", choices=("tucker", "cp", "tt"), default="tucker")
+    p.add_argument("--ratio", type=float, default=0.1)
+    p.add_argument("--no-optimize", action="store_true", dest="no_optimize",
+                   help="profile the raw model without decompose+TeMCO")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="traced inference runs to aggregate (default 3)")
+    p.add_argument("--top", type=int, default=12,
+                   help="rows per ranking table (default 12)")
+    p.add_argument("--flamegraph", type=Path, default=None, metavar="PATH",
+                   help="write collapsed-stack flamegraph input "
+                        "(flamegraph.pl / speedscope format)")
+    p.add_argument("--json", action="store_true",
+                   help="print the profile report as JSON")
+    p.set_defaults(fn=_cmd_profile)
+
     def serve_flags(p):
         p.add_argument("--workers", type=int, default=1,
                        help="inference worker threads (default 1)")
@@ -654,6 +759,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="decomposition method for the --tuned plan lookup")
         p.add_argument("--ratio", type=float, default=0.1,
                        help="decomposition ratio for the --tuned plan lookup")
+        p.add_argument("--slo", action="append", default=None, metavar="SPEC",
+                       help="service-level objective, repeatable: "
+                            "availability:TARGET[:WINDOW_S] or "
+                            "latency:THRESHOLD_MS:TARGET[:WINDOW_S] "
+                            "(e.g. latency:50:0.95); burn-rate gauges land "
+                            "on GET /metrics, loadgen exits non-zero on "
+                            "violation")
 
     p = sub.add_parser("serve", help="dynamic-batching inference server "
                                      "with a JSON/HTTP frontend")
@@ -665,8 +777,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="listen port; 0 picks an ephemeral port")
     p.add_argument("--duration", type=float, default=None,
                    help="serve for N seconds then exit (default: forever)")
-    p.add_argument("--log-level", dest="log_level", default=None,
-                   choices=("debug", "info", "warning", "error"))
+    obs_flags(p)
     p.set_defaults(fn=_obs_wrap(_cmd_serve))
 
     p = sub.add_parser("loadgen", help="drive an in-process server with "
@@ -685,8 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="samples per request (default 1)")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON (for scripts/CI)")
-    p.add_argument("--log-level", dest="log_level", default=None,
-                   choices=("debug", "info", "warning", "error"))
+    obs_flags(p)
     p.set_defaults(fn=_obs_wrap(_cmd_loadgen))
 
     p = sub.add_parser("export", help="export DOT graph / CSV timeline / "

@@ -26,21 +26,41 @@ Quick use::
 See ``docs/observability.md`` for the event taxonomy.
 """
 
-from .events import CounterSample, DecisionEvent, InstantEvent, SpanRecord
+from .events import (AsyncEvent, CounterSample, DecisionEvent, FlowEvent,
+                     InstantEvent, SpanRecord)
 from .export import (chrome_trace_events, jsonl_records, to_chrome_trace,
                      write_chrome_trace, write_jsonl, write_trace)
 from .metrics import Histogram, MetricsRegistry
+from .profile import (OpStat, ProfileReport, collapsed_stacks, profile_spans,
+                      profile_tracer, write_collapsed_stacks)
 from .prometheus import prometheus_metric_name, prometheus_text
+from .slo import (SLObjective, SLOMonitor, SLOStatus, evaluate_histogram,
+                  parse_slo, parse_slos)
 from .tracer import (NOOP_TRACER, NoopTracer, TaggedTracer, Tracer,
-                     configure_logging, get_tracer, set_tracer, use_tracer)
+                     configure_logging, get_tracer, new_trace_id, set_tracer,
+                     use_tracer)
 
 __all__ = [
     "SpanRecord",
     "InstantEvent",
     "CounterSample",
     "DecisionEvent",
+    "FlowEvent",
+    "AsyncEvent",
     "Histogram",
     "MetricsRegistry",
+    "OpStat",
+    "ProfileReport",
+    "profile_spans",
+    "profile_tracer",
+    "collapsed_stacks",
+    "write_collapsed_stacks",
+    "SLObjective",
+    "SLOMonitor",
+    "SLOStatus",
+    "evaluate_histogram",
+    "parse_slo",
+    "parse_slos",
     "prometheus_text",
     "prometheus_metric_name",
     "Tracer",
@@ -50,6 +70,7 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "new_trace_id",
     "configure_logging",
     "chrome_trace_events",
     "to_chrome_trace",

@@ -1,10 +1,11 @@
 """Typed telemetry records collected by the :class:`~repro.obs.Tracer`.
 
-Four record kinds cover the whole taxonomy:
+Five record kinds cover the whole taxonomy:
 
 - :class:`SpanRecord` — a timed region (pipeline stage, one node's
   kernel, an inference).  Spans nest; ``depth`` is the nesting level at
-  which the span ran.
+  which the span ran.  ``tid`` selects the timeline row the span
+  renders on (serve workers and parallel shards each get their own).
 - :class:`InstantEvent` — a point-in-time marker (allocator alloc/free,
   arena plan summary).
 - :class:`CounterSample` — one sample of a counter track (the
@@ -13,6 +14,16 @@ Four record kinds cover the whole taxonomy:
   a compiler pass, carrying the subject value/node name, the verdict,
   a machine-readable reason, and the byte/FLOP quantities that drove
   the decision.
+- :class:`FlowEvent` — one endpoint of a directed arrow between spans
+  on different timeline rows.  The serving layer emits a flow per
+  coalesced request from its admission to the micro-batch span that
+  served it, so the Chrome trace renders the batch's fan-in visually.
+- :class:`AsyncEvent` — one boundary of an *async* slice
+  (Chrome ``ph: "b"`` / ``"e"``).  Async slices sharing one ``aid``
+  render as their own stacked lane independent of any thread row —
+  the natural shape for a request's lifecycle waterfall
+  (queue wait → batching delay → execute → reply), which overlaps
+  other requests' waterfalls and so cannot live on a thread track.
 
 All timestamps are microseconds since the owning tracer's epoch, which
 is the unit Chrome trace-event JSON uses natively.
@@ -23,7 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["SpanRecord", "InstantEvent", "CounterSample", "DecisionEvent"]
+__all__ = ["SpanRecord", "InstantEvent", "CounterSample", "DecisionEvent",
+           "FlowEvent", "AsyncEvent"]
 
 
 @dataclass(frozen=True)
@@ -85,3 +97,39 @@ class DecisionEvent:
     @property
     def rejected(self) -> bool:
         return self.verdict in ("reject", "skip")
+
+
+@dataclass(frozen=True)
+class AsyncEvent:
+    """One boundary of an async (non-thread-bound) slice.
+
+    ``phase`` is ``"begin"`` or ``"end"``; boundaries sharing an
+    ``aid`` form one lane, and begin/end pairs nest within it like a
+    stack.  The serving layer keys ``aid`` by request id so every
+    request renders as its own waterfall lane.
+    """
+
+    name: str
+    aid: int
+    phase: str  #: ``begin`` or ``end``
+    ts_us: float
+    category: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One endpoint of a cross-row arrow (Chrome flow event).
+
+    ``phase`` is ``"start"`` at the source span or ``"finish"`` at the
+    destination; endpoints sharing one ``flow_id`` are connected.  The
+    event must lie *inside* a span on its ``tid`` row for Chrome to
+    bind the arrow to that span.
+    """
+
+    name: str
+    flow_id: int
+    phase: str  #: ``start`` or ``finish``
+    ts_us: float
+    tid: int = 0
+    args: dict[str, Any] = field(default_factory=dict)

@@ -5,7 +5,7 @@
 consumed by Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``:
 
 - spans become complete events (``ph: "X"``) with microsecond ``ts`` /
-  ``dur``,
+  ``dur``, rendered on the row their ``tid`` selects,
 - decision and instant events become instant events (``ph: "i"``) whose
   ``args`` carry the verdict/reason/quantities,
 - counter samples become counter events (``ph: "C"``) — the ``memory``
@@ -13,7 +13,16 @@ consumed by Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``:
   spans, and the ``arena`` track (emitted by the conformance auditor,
   :mod:`repro.obs.audit`) renders the planned arena occupancy next to
   it for a measured-vs-planned visual diff,
-- process/thread names are set with metadata events (``ph: "M"``).
+- flow events become ``ph: "s"`` / ``ph: "f"`` pairs — the arrows that
+  render the micro-batcher's fan-in (one per coalesced request),
+- async slices become ``ph: "b"`` / ``ph: "e"`` pairs keyed by ``id``
+  — each served request renders as its own waterfall lane
+  (queue wait → batching delay → execute → reply),
+- process/thread names are set with metadata events (``ph: "M"``):
+  the main row, plus one labeled row per tid the tracer named with
+  :meth:`~repro.obs.Tracer.name_thread` or that any span landed on
+  (serve workers, parallel shards) — so the trace shows
+  ``worker-0`` / ``shard-1`` lanes instead of raw tids.
 
 ``write_jsonl`` dumps the same records as one self-describing JSON
 object per line (``{"type": "span", ...}``), the grep-friendly form.
@@ -39,12 +48,23 @@ MAIN_TID = 0
 def chrome_trace_events(tracer: Tracer, *,
                         process_name: str = "repro") -> list[dict]:
     """The tracer's records as a flat Chrome ``traceEvents`` list."""
+    thread_names = dict(getattr(tracer, "thread_names", {}))
+    thread_names.setdefault(MAIN_TID, "timeline")
+    # every row a span landed on gets at least a generic label, so no
+    # lane in the rendered trace is a bare numeric tid
+    for span in tracer.spans:
+        thread_names.setdefault(span.tid, f"tid-{span.tid}")
     events: list[dict] = [
         {"name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": MAIN_TID,
          "args": {"name": process_name}},
-        {"name": "thread_name", "ph": "M", "pid": TRACE_PID, "tid": MAIN_TID,
-         "args": {"name": "timeline"}},
     ]
+    for tid in sorted(thread_names):
+        events.append({"name": "thread_name", "ph": "M", "pid": TRACE_PID,
+                       "tid": tid, "args": {"name": thread_names[tid]}})
+        # keep lanes in tid order (admission first, then workers)
+        events.append({"name": "thread_sort_index", "ph": "M",
+                       "pid": TRACE_PID, "tid": tid,
+                       "args": {"sort_index": tid}})
     for span in tracer.spans:
         events.append({
             "name": span.name, "cat": span.category or "span", "ph": "X",
@@ -72,6 +92,23 @@ def chrome_trace_events(tracer: Tracer, *,
             "name": sample.track, "cat": "counter", "ph": "C",
             "ts": sample.ts_us, "pid": TRACE_PID, "tid": MAIN_TID,
             "args": dict(sample.values),
+        })
+    for fl in getattr(tracer, "flows", ()):
+        event = {
+            "name": fl.name, "cat": "flow",
+            "ph": "s" if fl.phase == "start" else "f",
+            "id": fl.flow_id, "ts": fl.ts_us,
+            "pid": TRACE_PID, "tid": fl.tid, "args": dict(fl.args),
+        }
+        if fl.phase == "finish":
+            event["bp"] = "e"  # bind to the enclosing span, not the next
+        events.append(event)
+    for ae in getattr(tracer, "async_events", ()):
+        events.append({
+            "name": ae.name, "cat": ae.category or "async",
+            "ph": "b" if ae.phase == "begin" else "e",
+            "id": ae.aid, "ts": ae.ts_us,
+            "pid": TRACE_PID, "tid": MAIN_TID, "args": dict(ae.args),
         })
     return events
 
@@ -104,7 +141,7 @@ def jsonl_records(tracer: Tracer) -> Iterator[dict]:
         records.append((span.start_us, {
             "type": "span", "name": span.name, "category": span.category,
             "start_us": span.start_us, "duration_us": span.duration_us,
-            "depth": span.depth, "args": dict(span.args)}))
+            "depth": span.depth, "tid": span.tid, "args": dict(span.args)}))
     for inst in tracer.instants:
         records.append((inst.ts_us, {
             "type": "instant", "name": inst.name, "category": inst.category,
@@ -118,6 +155,16 @@ def jsonl_records(tracer: Tracer) -> Iterator[dict]:
         records.append((sample.ts_us, {
             "type": "counter", "track": sample.track, "ts_us": sample.ts_us,
             "values": dict(sample.values)}))
+    for fl in getattr(tracer, "flows", ()):
+        records.append((fl.ts_us, {
+            "type": "flow", "name": fl.name, "flow_id": fl.flow_id,
+            "phase": fl.phase, "ts_us": fl.ts_us, "tid": fl.tid,
+            "args": dict(fl.args)}))
+    for ae in getattr(tracer, "async_events", ()):
+        records.append((ae.ts_us, {
+            "type": "async", "name": ae.name, "aid": ae.aid,
+            "phase": ae.phase, "ts_us": ae.ts_us,
+            "category": ae.category, "args": dict(ae.args)}))
     for _, record in sorted(records, key=lambda r: r[0]):
         yield record
 

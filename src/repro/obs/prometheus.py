@@ -9,6 +9,11 @@ only, like the rest of the repo:
 
 - counters render as ``TYPE counter`` with the conventional ``_total``
   suffix,
+- counters following the ``<base>.reason.<reason>`` naming convention
+  collapse into one labeled family: ``serve.dropped.reason.queue_full``
+  and ``serve.dropped.reason.deadline_expired`` render as
+  ``repro_serve_dropped_total{reason="queue_full"} ...`` — so a single
+  PromQL ``sum by (reason)`` breaks overload/shed/expiry apart,
 - gauges render as ``TYPE gauge``,
 - histograms render as ``TYPE summary``: the p50/p95/p99 reservoir
   quantiles with ``quantile`` labels plus ``_sum`` / ``_count``, and
@@ -68,14 +73,36 @@ def prometheus_text(registry: MetricsRegistry, *, namespace: str = "repro",
         gauges = {**gauges, **{k: float(v) for k, v in extra_gauges.items()}}
     lines: list[str] = []
 
-    for name in sorted(counters):
+    # split labeled counters (the ``<base>.reason.<value>`` convention)
+    # from plain ones, grouping the labeled families
+    plain: dict[str, float] = {}
+    labeled: dict[str, dict[str, float]] = {}
+    for name, value in counters.items():
+        base, sep, reason = name.partition(".reason.")
+        if sep and reason:
+            labeled.setdefault(base, {})[reason] = value
+        else:
+            plain[name] = value
+
+    for name in sorted(plain):
         metric = prometheus_metric_name(name, namespace)
         if not metric.endswith("_total"):
             metric += "_total"
         lines.append(f"# HELP {metric} Counter {name!r} from the repro "
                      f"metrics registry.")
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_num(counters[name])}")
+        lines.append(f"{metric} {_num(plain[name])}")
+
+    for base in sorted(labeled):
+        metric = prometheus_metric_name(base, namespace)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# HELP {metric} Counter {base!r} from the repro "
+                     f"metrics registry, labeled by reason.")
+        lines.append(f"# TYPE {metric} counter")
+        for reason in sorted(labeled[base]):
+            lines.append(f'{metric}{{reason="{reason}"}} '
+                         f"{_num(labeled[base][reason])}")
 
     for name in sorted(gauges):
         metric = prometheus_metric_name(name, namespace)

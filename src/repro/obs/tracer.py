@@ -25,14 +25,29 @@ from __future__ import annotations
 import logging
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
-from .events import CounterSample, DecisionEvent, InstantEvent, SpanRecord
+from .events import (AsyncEvent, CounterSample, DecisionEvent, FlowEvent,
+                     InstantEvent, SpanRecord)
 from .metrics import MetricsRegistry
 
 __all__ = ["Tracer", "NoopTracer", "TaggedTracer", "NOOP_TRACER",
-           "get_tracer", "set_tracer", "use_tracer", "configure_logging"]
+           "get_tracer", "set_tracer", "use_tracer", "configure_logging",
+           "new_trace_id"]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char request trace id.
+
+    Assigned once at admission (:meth:`repro.serve.InferenceServer.submit`)
+    and stamped onto every span the request touches — queue wait, the
+    micro-batch that served it, per-op executor spans, cross-process
+    shards — so one grep (or one Perfetto query) reconstructs the
+    request's full waterfall.
+    """
+    return uuid.uuid4().hex[:16]
 
 
 class _NoopSpan:
@@ -58,14 +73,15 @@ class NoopTracer:
     def __init__(self) -> None:
         self.metrics = MetricsRegistry()
 
-    def span(self, name: str, category: str = "", **args) -> _NoopSpan:
+    def span(self, name: str, category: str = "", tid: int | None = None,
+             **args) -> _NoopSpan:
         return _NOOP_SPAN
 
     def now_us(self) -> float:
         return 0.0
 
     def complete(self, name: str, start_us: float, duration_us: float,
-                 category: str = "", **args) -> None:
+                 category: str = "", tid: int | None = None, **args) -> None:
         return None
 
     def instant(self, name: str, category: str = "", **args) -> None:
@@ -77,6 +93,18 @@ class NoopTracer:
 
     def decision(self, pass_name: str, subject: str, verdict: str,
                  reason: str = "", **quantities) -> None:
+        return None
+
+    def flow(self, name: str, flow_id: int, phase: str,
+             ts_us: float | None = None, tid: int | None = None,
+             **args) -> None:
+        return None
+
+    def async_slice(self, name: str, aid: int, start_us: float,
+                    end_us: float, category: str = "", **args) -> None:
+        return None
+
+    def name_thread(self, tid: int, name: str) -> None:
         return None
 
 
@@ -101,11 +129,18 @@ class Tracer(NoopTracer):
         super().__init__()
         self._clock = clock
         self._epoch = clock()
+        #: wall-clock time at the epoch, the cross-process alignment
+        #: anchor :meth:`absorb` shifts foreign timestamps with
+        self.epoch_wall = time.time()
         self._depth = 0
         self.spans: list[SpanRecord] = []
         self.instants: list[InstantEvent] = []
         self.counters: list[CounterSample] = []
         self.decisions: list[DecisionEvent] = []
+        self.flows: list[FlowEvent] = []
+        self.async_events: list[AsyncEvent] = []
+        #: Chrome-trace row labels, tid -> name (see :meth:`name_thread`)
+        self.thread_names: dict[int, str] = {}
 
     # -- time ---------------------------------------------------------------
 
@@ -115,7 +150,8 @@ class Tracer(NoopTracer):
     # -- spans --------------------------------------------------------------
 
     @contextmanager
-    def span(self, name: str, category: str = "", **args) -> Iterator[None]:
+    def span(self, name: str, category: str = "", tid: int | None = None,
+             **args) -> Iterator[None]:
         """Timed nested region; the record is appended when it closes."""
         start = self.now_us()
         depth = self._depth
@@ -126,14 +162,16 @@ class Tracer(NoopTracer):
             self._depth -= 1
             self.spans.append(SpanRecord(
                 name=name, category=category, start_us=start,
-                duration_us=self.now_us() - start, depth=depth, args=args))
+                duration_us=self.now_us() - start, depth=depth,
+                tid=tid or 0, args=args))
 
     def complete(self, name: str, start_us: float, duration_us: float,
-                 category: str = "", **args) -> None:
+                 category: str = "", tid: int | None = None, **args) -> None:
         """Record an already-timed region (executor per-node fast path)."""
         self.spans.append(SpanRecord(
             name=name, category=category, start_us=start_us,
-            duration_us=duration_us, depth=self._depth, args=args))
+            duration_us=duration_us, depth=self._depth, tid=tid or 0,
+            args=args))
 
     # -- point events -------------------------------------------------------
 
@@ -157,6 +195,92 @@ class Tracer(NoopTracer):
             pass_name=pass_name, subject=subject, verdict=verdict,
             reason=reason, ts_us=self.now_us(), quantities=quantities))
         self.metrics.inc(f"{pass_name}.{verdict}")
+
+    def flow(self, name: str, flow_id: int, phase: str,
+             ts_us: float | None = None, tid: int | None = None,
+             **args) -> None:
+        """Record one endpoint of a cross-row arrow.
+
+        ``phase`` is ``"start"`` (source) or ``"finish"`` (destination);
+        both endpoints of one arrow share ``flow_id``.  Chrome binds
+        each endpoint to the span enclosing ``ts_us`` on row ``tid``.
+        """
+        if phase not in ("start", "finish"):
+            raise ValueError(f"flow phase must be start/finish, got {phase!r}")
+        self.flows.append(FlowEvent(
+            name=name, flow_id=flow_id, phase=phase,
+            ts_us=self.now_us() if ts_us is None else ts_us,
+            tid=tid or 0, args=args))
+
+    def async_slice(self, name: str, aid: int, start_us: float,
+                    end_us: float, category: str = "", **args) -> None:
+        """Record one already-timed async slice (begin + end pair).
+
+        Slices sharing ``aid`` stack into one rendered lane; the
+        serving layer emits a request's whole waterfall (queue wait →
+        batching delay → execute → reply) as nested slices under its
+        request-id lane once the outcome is known.
+        """
+        self.async_events.append(AsyncEvent(
+            name=name, aid=aid, phase="begin", ts_us=start_us,
+            category=category, args=args))
+        self.async_events.append(AsyncEvent(
+            name=name, aid=aid, phase="end", ts_us=end_us,
+            category=category, args={}))
+
+    def name_thread(self, tid: int, name: str) -> None:
+        """Label a Chrome-trace timeline row (serve worker, shard)."""
+        self.thread_names[tid] = name
+
+    # -- cross-process propagation ------------------------------------------
+
+    def export_records(self) -> dict[str, Any]:
+        """This tracer's records as plain picklable data.
+
+        The wire form a :class:`~repro.runtime.parallel.ParallelRunner`
+        worker ships its shard trace back to the parent in; the parent
+        merges it with :meth:`absorb`.
+        """
+        return {
+            "epoch_wall": self.epoch_wall,
+            "spans": [{"name": s.name, "category": s.category,
+                       "start_us": s.start_us, "duration_us": s.duration_us,
+                       "depth": s.depth, "args": dict(s.args)}
+                      for s in self.spans],
+            "instants": [{"name": i.name, "category": i.category,
+                          "ts_us": i.ts_us, "args": dict(i.args)}
+                         for i in self.instants],
+            "counters": [{"track": c.track, "ts_us": c.ts_us,
+                          "values": dict(c.values)}
+                         for c in self.counters],
+        }
+
+    def absorb(self, records: dict[str, Any], *, tid: int = 0,
+               **tags: Any) -> int:
+        """Merge a foreign tracer's :meth:`export_records` dump.
+
+        Timestamps are shifted into this tracer's timeline using the
+        wall-clock anchor both tracers captured at construction, spans
+        land on row ``tid``, and ``tags`` (a ``trace_id``, a shard
+        index) are stamped onto every absorbed record.  Returns the
+        number of spans absorbed.
+        """
+        offset_us = (records["epoch_wall"] - self.epoch_wall) * 1e6
+        for s in records.get("spans", ()):
+            self.spans.append(SpanRecord(
+                name=s["name"], category=s["category"],
+                start_us=s["start_us"] + offset_us,
+                duration_us=s["duration_us"], depth=s["depth"], tid=tid,
+                args={**s["args"], **tags}))
+        for i in records.get("instants", ()):
+            self.instants.append(InstantEvent(
+                name=i["name"], category=i["category"],
+                ts_us=i["ts_us"] + offset_us, args={**i["args"], **tags}))
+        for c in records.get("counters", ()):
+            self.counters.append(CounterSample(
+                track=c["track"], ts_us=c["ts_us"] + offset_us,
+                values=dict(c["values"])))
+        return len(records.get("spans", ()))
 
     # -- queries ------------------------------------------------------------
 
@@ -191,11 +315,15 @@ class TaggedTracer:
     ``memory`` track would corrupt the timeline rendering.
 
     Explicit tags win over colliding call-site args so a worker cannot
-    accidentally mislabel itself.
+    accidentally mislabel itself.  A ``tid`` pins every span recorded
+    through the proxy onto one Chrome-trace row, which is how each
+    serve worker gets its own labeled timeline lane.
     """
 
-    def __init__(self, inner: NoopTracer, **tags: Any) -> None:
+    def __init__(self, inner: NoopTracer, tid: int | None = None,
+                 **tags: Any) -> None:
         self._inner = inner
+        self.tid = tid
         self.tags = tags
 
     @property
@@ -208,17 +336,22 @@ class TaggedTracer:
 
     def tagged(self, **tags: Any) -> "TaggedTracer":
         """A further-specialized proxy (same inner tracer, merged tags)."""
-        return TaggedTracer(self._inner, **{**self.tags, **tags})
+        return TaggedTracer(self._inner, tid=self.tid,
+                            **{**self.tags, **tags})
 
     def now_us(self) -> float:
         return self._inner.now_us()
 
-    def span(self, name: str, category: str = "", **args):
-        return self._inner.span(name, category, **{**args, **self.tags})
+    def span(self, name: str, category: str = "", tid: int | None = None,
+             **args):
+        return self._inner.span(name, category,
+                                tid=self.tid if tid is None else tid,
+                                **{**args, **self.tags})
 
     def complete(self, name: str, start_us: float, duration_us: float,
-                 category: str = "", **args) -> None:
+                 category: str = "", tid: int | None = None, **args) -> None:
         self._inner.complete(name, start_us, duration_us, category,
+                             tid=self.tid if tid is None else tid,
                              **{**args, **self.tags})
 
     def instant(self, name: str, category: str = "", **args) -> None:
@@ -232,6 +365,21 @@ class TaggedTracer:
                  reason: str = "", **quantities) -> None:
         self._inner.decision(pass_name, subject, verdict, reason,
                              **{**quantities, **self.tags})
+
+    def flow(self, name: str, flow_id: int, phase: str,
+             ts_us: float | None = None, tid: int | None = None,
+             **args) -> None:
+        self._inner.flow(name, flow_id, phase, ts_us=ts_us,
+                         tid=self.tid if tid is None else tid,
+                         **{**args, **self.tags})
+
+    def async_slice(self, name: str, aid: int, start_us: float,
+                    end_us: float, category: str = "", **args) -> None:
+        self._inner.async_slice(name, aid, start_us, end_us, category,
+                                **{**args, **self.tags})
+
+    def name_thread(self, tid: int, name: str) -> None:
+        self._inner.name_thread(tid, name)
 
 
 # ---------------------------------------------------------------------------

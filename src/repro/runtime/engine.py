@@ -96,14 +96,21 @@ class InferenceSession:
         return [v.name for v in self.graph.inputs]
 
     def run(self, inputs: dict[str, np.ndarray] | np.ndarray, *,
-            record_timings: bool = False) -> ExecutionResult:
-        """Run one inference.  A bare array is bound to the sole input."""
+            record_timings: bool = False, tracer=None) -> ExecutionResult:
+        """Run one inference.  A bare array is bound to the sole input.
+
+        ``tracer`` overrides the session tracer for this call only —
+        the serving layer passes a per-batch
+        :class:`~repro.obs.TaggedTracer` so executor node spans carry
+        the trace ids of the requests coalesced into the batch.
+        """
         if isinstance(inputs, np.ndarray):
             if len(self.graph.inputs) != 1:
                 raise ValueError(
                     f"graph has {len(self.graph.inputs)} inputs; pass a dict")
             inputs = {self.graph.inputs[0].name: inputs}
-        tracer = self.tracer if self.tracer is not None else get_tracer()
+        if tracer is None:
+            tracer = self.tracer if self.tracer is not None else get_tracer()
         with tracer.span("inference", category="runtime",
                          graph=self.graph.name):
             result = execute(self.graph, inputs, record_timings=record_timings,

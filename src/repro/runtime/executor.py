@@ -22,6 +22,7 @@ import numpy as np
 
 from .. import kernels
 from ..ir.graph import Graph
+from ..ir.ops import node_flops
 from ..ir.value import Value
 from ..obs import get_tracer
 from .allocator import TensorAllocator
@@ -156,10 +157,10 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
         start = time.perf_counter() if record_timings else 0.0
         span_start = tracer.now_us() if tracing else 0.0
         out_array = kernels.run_node(node, in_arrays)
-        if tracing:
-            tracer.complete(node.name, span_start,
-                            tracer.now_us() - span_start,
-                            category=node.op, index=index, op=node.op)
+        # the span is recorded after the scratch block below so it can
+        # carry the fused-tile bytes; the end timestamp is taken here,
+        # so the recorded duration covers the kernel alone
+        span_end = tracer.now_us() if tracing else 0.0
         if check_finite and not np.isfinite(out_array).all():
             bad = int((~np.isfinite(out_array)).sum())
             raise FloatingPointError(
@@ -201,6 +202,16 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
             index=index, node_name=node.name, op=node.op,
             live_bytes=allocator.current_bytes, scratch_bytes=scratch))
         if tracing:
+            # bytes = data the kernel touched (inputs + output +
+            # weights); with the analytic FLOP count this gives the
+            # hot-path profiler (repro.obs.profile) the arithmetic
+            # intensity of every executed node
+            moved = (sum(int(a.nbytes) for a in in_arrays)
+                     + int(out_array.nbytes) + node.param_bytes())
+            tracer.complete(node.name, span_start, span_end - span_start,
+                            category=node.op, index=index, op=node.op,
+                            bytes=moved, flops=node_flops(node),
+                            scratch=scratch)
             tracer.counter("memory", live_bytes=allocator.current_bytes,
                            scratch_bytes=scratch)
 

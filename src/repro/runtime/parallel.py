@@ -9,6 +9,15 @@ overhead is just the input shard.
 
 This mirrors an MPI scatter/gather pattern (cf. the mpi4py tutorial in
 the domain guides) on a single node using ``multiprocessing``.
+
+**Trace propagation.**  When the ambient tracer is enabled, each
+worker runs its shard under a process-local
+:class:`~repro.obs.Tracer`, ships the records back with the outputs
+(:meth:`~repro.obs.Tracer.export_records`), and the parent merges them
+into its own timeline (:meth:`~repro.obs.Tracer.absorb`): wall-clock
+aligned, one labeled ``shard-N`` row per worker, every absorbed span
+stamped with the run's ``trace_id`` — so one Chrome trace shows the
+fan-out across process boundaries end to end.
 """
 
 from __future__ import annotations
@@ -20,9 +29,14 @@ import numpy as np
 
 from ..ir.graph import Graph
 from ..ir.serialize import graph_from_dict, graph_to_dict
+from ..obs import TaggedTracer, Tracer, get_tracer, new_trace_id
 from .executor import execute
 
-__all__ = ["ParallelRunner", "shard_batch"]
+__all__ = ["ParallelRunner", "shard_batch", "PARALLEL_TID_BASE"]
+
+#: Chrome-trace rows for absorbed shard timelines start here, clear of
+#: the serve workers' 1..N rows
+PARALLEL_TID_BASE = 1000
 
 _WORKER_GRAPH: Graph | None = None
 
@@ -35,6 +49,24 @@ def _init_worker(structure: dict[str, Any], weights: dict[str, np.ndarray]) -> N
 def _run_shard(shard: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
     assert _WORKER_GRAPH is not None, "worker not initialized"
     return execute(_WORKER_GRAPH, shard).outputs
+
+
+def _run_shard_traced(payload: tuple[int, str, dict[str, np.ndarray]],
+                      ) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Worker half of cross-process trace propagation.
+
+    Runs the shard under a fresh process-local tracer (tagged with the
+    propagated trace id and shard index) and returns the outputs plus
+    the tracer's picklable record dump for the parent to absorb.
+    """
+    assert _WORKER_GRAPH is not None, "worker not initialized"
+    shard_index, trace_id, shard = payload
+    local = Tracer()
+    tagged = TaggedTracer(local, trace_id=trace_id, shard=shard_index)
+    with tagged.span("parallel.shard", category="parallel",
+                     samples=next(iter(shard.values())).shape[0]):
+        outputs = execute(_WORKER_GRAPH, shard, tracer=tagged).outputs
+    return outputs, local.export_records()
 
 
 def shard_batch(inputs: dict[str, np.ndarray], num_shards: int) -> list[dict[str, np.ndarray]]:
@@ -96,8 +128,16 @@ class ParallelRunner:
             self._pool = None
 
     # -- execution -----------------------------------------------------
-    def run(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
-        """Shard the batch, run shards in parallel, concatenate outputs."""
+    def run(self, inputs: dict[str, np.ndarray], *,
+            trace_id: str | None = None) -> dict[str, np.ndarray]:
+        """Shard the batch, run shards in parallel, concatenate outputs.
+
+        When the ambient tracer is enabled, the whole run is traced
+        under one ``trace_id`` (a fresh one unless the caller
+        propagates its own): the parent records a ``parallel.run``
+        span, every worker process records its shard locally, and the
+        shard timelines are merged back onto labeled ``shard-N`` rows.
+        """
         graph_batch = self.graph.inputs[0].shape[0]
         shards = []
         batch = next(iter(inputs.values())).shape[0]
@@ -106,12 +146,44 @@ class ParallelRunner:
                 f"batch {batch} not divisible by graph batch {graph_batch}")
         for lo in range(0, batch, graph_batch):
             shards.append({name: arr[lo:lo + graph_batch] for name, arr in inputs.items()})
-        if self._pool is None or len(shards) == 1:
-            results = [_run_local(self.graph, shard) for shard in shards]
+
+        tracer = get_tracer()
+        if not tracer.enabled:
+            if self._pool is None or len(shards) == 1:
+                results = [_run_local(self.graph, shard) for shard in shards]
+            else:
+                results = self._pool.map(_run_shard, shards)
         else:
-            results = self._pool.map(_run_shard, shards)
+            results = self._run_traced(tracer, shards, trace_id
+                                       or new_trace_id())
         return {name: np.concatenate([r[name] for r in results], axis=0)
                 for name in results[0]}
+
+    def _run_traced(self, tracer, shards, trace_id: str) -> list[dict]:
+        """Traced fan-out: propagate ``trace_id`` into every worker and
+        absorb their shard timelines."""
+        with tracer.span("parallel.run", category="parallel",
+                         trace_id=trace_id, shards=len(shards),
+                         workers=self.num_workers):
+            if self._pool is None or len(shards) == 1:
+                results = []
+                for index, shard in enumerate(shards):
+                    local = TaggedTracer(tracer, trace_id=trace_id,
+                                         shard=index)
+                    results.append(execute(self.graph, shard,
+                                           tracer=local).outputs)
+                return results
+            pairs = self._pool.map(
+                _run_shard_traced,
+                [(index, trace_id, shard)
+                 for index, shard in enumerate(shards)])
+            results = []
+            for index, (outputs, records) in enumerate(pairs):
+                tid = PARALLEL_TID_BASE + index
+                tracer.name_thread(tid, f"shard-{index}")
+                tracer.absorb(records, tid=tid)
+                results.append(outputs)
+            return results
 
 
 def _run_local(graph: Graph, shard: dict[str, np.ndarray]) -> dict[str, np.ndarray]:

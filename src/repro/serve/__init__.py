@@ -12,7 +12,16 @@ concurrency.  Four moving parts:
 - :mod:`repro.serve.loadgen` — open-/closed-loop load generation
   reporting throughput and p50/p95/p99 latency,
 - :mod:`repro.serve.httpd` — a stdlib-only JSON/HTTP frontend
-  (``/infer``, ``/healthz``, ``/stats``).
+  (``/infer``, ``/healthz``, ``/stats``, Prometheus ``/metrics``,
+  ``/slo``).
+
+The layer is observable end to end: every admitted request gets a
+``trace_id`` that flows through the admission span, the worker's
+micro-batch span, and the per-op executor spans, rendering as a
+per-request waterfall (queue wait → batching → execute) in the Chrome
+trace; drops are counted by reason, and an optional
+:class:`~repro.obs.SLOMonitor` turns completions into rolling
+error-budget burn rates (see ``docs/serving.md``).
 
 Quick use::
 

@@ -8,8 +8,12 @@ library (the repo's no-new-deps rule):
 - ``GET /stats`` — the server's metrics snapshot (queue depth,
   latency/batch histograms, shed/reject counters),
 - ``GET /metrics`` — the same registry in Prometheus text exposition
-  format (version 0.0.4), scrapeable as-is; see
+  format (version 0.0.4), scrapeable as-is (including the ``slo_*``
+  burn-rate gauges and the reason-labeled
+  ``repro_serve_dropped_total`` family); see
   :mod:`repro.obs.prometheus` and ``docs/serving.md``,
+- ``GET /slo`` — the attached :class:`~repro.obs.SLOMonitor`'s
+  objectives evaluated now, as JSON (404 when the server has none),
 - ``POST /infer`` — body ``{"inputs": {name: nested-list}, optional
   "deadline_ms": float}``; replies ``{"outputs": {...},
   "latency_ms": float}``.  Overload maps to **429**, an expired
@@ -80,6 +84,14 @@ class _Handler(BaseHTTPRequestHandler):
                     "serve.queue_depth", "serve.in_flight",
                     "serve.workers", "serve.graph_batch")})
             self._reply_raw(200, text.encode(), PROMETHEUS_CONTENT_TYPE)
+        elif self.path == "/slo":
+            if server.slo is None:
+                self._reply(404, {"error": "no SLO monitor attached"})
+            else:
+                statuses = [s.to_dict() for s in server.slo.evaluate()]
+                self._reply(200, {
+                    "slo": statuses,
+                    "healthy": all(s["healthy"] for s in statuses)})
         else:
             self._reply(404, {"error": f"no such endpoint {self.path!r}"})
 

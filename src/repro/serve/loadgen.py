@@ -15,7 +15,12 @@ Cautionary Tale", NSDI'06):
 The report carries completed/rejected/shed counts, wall-clock
 throughput, and the latency distribution as a
 :class:`~repro.runtime.engine.TimingResult` so p50/p95/p99 come from
-the same percentile code the bench harness uses.
+the same percentile code the bench harness uses.  When the driven
+server carries an :class:`~repro.obs.SLOMonitor`, the report also
+snapshots every objective's end-of-run status (burn rate, good
+ratio), :meth:`LoadgenReport.slo_ok` gates on them, and the CLI
+(``repro loadgen --slo ...``) exits non-zero on violation — the CI
+contract.
 """
 
 from __future__ import annotations
@@ -76,6 +81,15 @@ class LoadgenReport:
     errors: int
     duration_s: float
     latencies_s: list[float] = field(default_factory=list)
+    #: end-of-run SLO statuses (:meth:`SLOStatus.to_dict` dicts) when
+    #: the driven server carried a monitor; empty otherwise
+    slo: list[dict] = field(default_factory=list)
+
+    @property
+    def slo_ok(self) -> bool:
+        """True when every evaluated objective is healthy (vacuously
+        true without a monitor) — the CI gate."""
+        return all(status["healthy"] for status in self.slo)
 
     @property
     def throughput_rps(self) -> float:
@@ -97,6 +111,8 @@ class LoadgenReport:
             "throughput_rps": self.throughput_rps,
             "latency_ms": {stat: getattr(lat, stat) * 1e3
                            for stat in ("best", "mean", "p50", "p95", "p99")},
+            "slo": self.slo,
+            "slo_ok": self.slo_ok,
         }
 
     def to_json(self) -> str:
@@ -114,6 +130,13 @@ class LoadgenReport:
             f"p99 {lat.p99 * 1e3:.2f}  (mean {lat.mean * 1e3:.2f}, "
             f"best {lat.best * 1e3:.2f})",
         ]
+        for status in self.slo:
+            verdict = "ok" if status["healthy"] else "VIOLATED"
+            lines.append(
+                f"slo [{verdict}] {status['name']}: "
+                f"{status['good']}/{status['events']} good "
+                f"({status['good_ratio']:.2%}), burn rate "
+                f"{status['burn_rate']:.2f}x of budget")
         return "\n".join(lines)
 
 
@@ -220,8 +243,10 @@ def run_loadgen(server: InferenceServer,
             _settle(item, tally, config.timeout_s)
 
     duration = time.perf_counter() - start
+    slo_statuses = ([status.to_dict() for status in server.slo.evaluate()]
+                    if server.slo is not None else [])
     return LoadgenReport(
         mode=config.mode, offered=config.requests,
         completed=tally.completed, rejected=tally.rejected,
         shed=tally.shed, errors=tally.errors, duration_s=duration,
-        latencies_s=tally.latencies)
+        latencies_s=tally.latencies, slo=slo_statuses)

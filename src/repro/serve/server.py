@@ -14,8 +14,23 @@
   then runs the shard(s) on its own warm
   :class:`~repro.runtime.engine.InferenceSession`,
 - **observability** — queue depth gauge, latency/batch-occupancy
-  histograms, shed/reject counters, all in a
-  :class:`~repro.obs.MetricsRegistry` (:meth:`stats`).
+  histograms, shed/reject counters (aggregate *and* reason-labeled:
+  ``serve.dropped.reason.{queue_full,deadline_expired,server_closed,
+  worker_error}`` renders as one Prometheus family with a ``reason``
+  label), all in a :class:`~repro.obs.MetricsRegistry`
+  (:meth:`stats`),
+- **request-lifecycle tracing** — every request gets a ``trace_id``
+  at admission; when a recording tracer is active the server records
+  an admission span, a flow arrow from admission into the micro-batch
+  that served the request (the batcher's fan-in, one arrow per
+  coalesced request), per-op executor spans tagged with the batch's
+  trace ids, and — once the outcome is known — the request's async
+  waterfall (``queue_wait`` → ``batching`` → ``execute``) on its own
+  lane in the Chrome trace,
+- **SLOs** — pass an :class:`~repro.obs.SLOMonitor` and the server
+  feeds it every outcome (completions with latency; sheds, rejects
+  and failures as bad events); :meth:`stats` re-exports burn-rate
+  gauges so ``GET /metrics`` exposes them.
 
 The server serves whatever graph it is given; pair it with
 :func:`resolve_plan` to load the autotuned compiled plan from the
@@ -35,7 +50,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ir.graph import Graph
-from ..obs import MetricsRegistry, NOOP_TRACER, TaggedTracer, get_tracer
+from ..obs import (MetricsRegistry, NOOP_TRACER, SLOMonitor, TaggedTracer,
+                   get_tracer, new_trace_id)
 from ..runtime.engine import InferenceSession
 from .batcher import Shard, assemble, request_samples, scatter
 
@@ -64,9 +80,13 @@ class ServerClosed(ServeError):
 class ServeFuture:
     """Completion handle for one submitted request."""
 
-    def __init__(self, request_id: int, samples: int) -> None:
+    def __init__(self, request_id: int, samples: int,
+                 trace_id: str = "") -> None:
         self.request_id = request_id
         self.samples = samples
+        #: lifecycle trace id assigned at admission; grep the exported
+        #: trace for it to reconstruct this request's waterfall
+        self.trace_id = trace_id
         self._event = threading.Event()
         self._outputs: dict[str, np.ndarray] | None = None
         self._error: BaseException | None = None
@@ -129,11 +149,16 @@ class _Request:
     """One admitted request (internal work item)."""
 
     id: int
+    trace_id: str
     inputs: dict[str, np.ndarray]
     samples: int
     future: ServeFuture
     enqueued_at: float
     deadline_at: float | None  #: monotonic absolute deadline
+    #: tracer timestamps bounding the queue-wait segment of the
+    #: request's waterfall (0.0 when tracing is off)
+    admitted_us: float = 0.0
+    dequeued_us: float = 0.0
 
 
 class InferenceServer:
@@ -148,12 +173,13 @@ class InferenceServer:
 
     def __init__(self, graph: Graph, config: ServerConfig | None = None, *,
                  metrics: MetricsRegistry | None = None,
-                 tracer=None) -> None:
+                 tracer=None, slo: SLOMonitor | None = None) -> None:
         graph.validate()
         self.graph = graph
         self.config = config or ServerConfig()
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.slo = slo
         self.graph_batch = graph.inputs[0].shape[0]
         self.max_batch = self.config.max_batch or self.graph_batch
         self._lock = threading.Lock()
@@ -168,11 +194,16 @@ class InferenceServer:
         # state (last_result), so they are per-thread, while the
         # read-only graph and its weights are shared.  When tracing,
         # each worker records through a TaggedTracer stamping its
-        # worker_id, so the merged timeline stays attributable.
+        # worker_id and pinning its spans onto a dedicated, labeled
+        # Chrome-trace row (tid = worker index + 1; tid 0 stays the
+        # admission/main timeline), so the merged trace renders one
+        # lane per worker.
         if self.tracer.enabled:
             self._worker_tracers = [
-                TaggedTracer(self.tracer, worker_id=index)
+                TaggedTracer(self.tracer, tid=index + 1, worker_id=index)
                 for index in range(self.config.num_workers)]
+            for index in range(self.config.num_workers):
+                self.tracer.name_thread(index + 1, f"worker-{index}")
         else:
             self._worker_tracers = [NOOP_TRACER] * self.config.num_workers
         self._sessions = [
@@ -217,6 +248,7 @@ class InferenceServer:
             request.future._reject(ServerClosed(
                 f"server closed with request {request.id} still queued"))
             self.metrics.inc("serve.rejected_on_close")
+            self._drop(request, "server_closed")
         for worker in self._workers:
             worker.join(timeout)
         self._workers.clear()
@@ -257,15 +289,20 @@ class InferenceServer:
             deadline_s = self.config.default_deadline_s
         now = time.monotonic()
         request_id = next(self._ids)
+        trace_id = new_trace_id()
+        tracing = self.tracer.enabled
+        admitted_us = self.tracer.now_us() if tracing else 0.0
         request = _Request(
-            id=request_id, inputs=inputs, samples=samples,
-            future=ServeFuture(request_id, samples), enqueued_at=now,
+            id=request_id, trace_id=trace_id, inputs=inputs, samples=samples,
+            future=ServeFuture(request_id, samples, trace_id),
+            enqueued_at=now, admitted_us=admitted_us,
             deadline_at=None if deadline_s is None else now + deadline_s)
         with self._not_empty:
             if self._closed:
                 raise ServerClosed("server is closed")
             if len(self._queue) >= self.config.max_queue:
                 self.metrics.inc("serve.rejected")
+                self._drop(request, "queue_full")
                 raise Overloaded(
                     f"admission queue full ({self.config.max_queue} requests); "
                     f"retry with backoff")
@@ -273,6 +310,17 @@ class InferenceServer:
             self.metrics.inc("serve.requests")
             self._gauge_depth_locked()
             self._not_empty.notify()
+        if tracing:
+            # a short admission span on the main row hosts the source
+            # endpoint of the fan-in arrow; the destination lands in
+            # the micro-batch span that eventually serves the request
+            self.tracer.complete(
+                "serve.admit", admitted_us,
+                max(self.tracer.now_us() - admitted_us, 1.0),
+                category="serve", request_id=request_id, trace_id=trace_id,
+                samples=samples)
+            self.tracer.flow("serve.request", request_id, "start",
+                             ts_us=admitted_us, trace_id=trace_id)
         return request.future
 
     def infer(self, inputs: dict[str, np.ndarray] | np.ndarray, *,
@@ -286,17 +334,47 @@ class InferenceServer:
     def _gauge_depth_locked(self) -> None:
         self.metrics.gauge("serve.queue_depth", len(self._queue))
 
+    def _drop(self, request: _Request, reason: str) -> None:
+        """Account one request that will never complete.
+
+        The ``serve.dropped.reason.<reason>`` counter renders as a
+        single labeled Prometheus family
+        (``repro_serve_dropped_total{reason="..."}``); the SLO monitor
+        sees the outcome as a bad event; with tracing on, the
+        truncated waterfall lands on the request's async lane.
+        """
+        self.metrics.inc(f"serve.dropped.reason.{reason}")
+        if self.slo is not None:
+            self.slo.record(ok=False)
+        if self.tracer.enabled:
+            now_us = self.tracer.now_us()
+            self.tracer.instant("serve.dropped", category="serve",
+                                request_id=request.id,
+                                trace_id=request.trace_id, reason=reason)
+            if request.admitted_us:
+                self.tracer.async_slice(
+                    "request", request.id, request.admitted_us, now_us,
+                    category="serve", trace_id=request.trace_id,
+                    outcome=reason)
+                self.tracer.async_slice(
+                    "queue_wait", request.id, request.admitted_us,
+                    request.dequeued_us or now_us, category="serve",
+                    trace_id=request.trace_id)
+
     def _shed(self, request: _Request, now: float) -> None:
         overdue = now - (request.deadline_at or now)
         request.future._reject(DeadlineExceeded(
             f"request {request.id} expired {overdue * 1e3:.1f} ms before "
             f"service"))
         self.metrics.inc("serve.shed")
+        self._drop(request, "deadline_expired")
 
     def _pop_live_locked(self, now: float) -> _Request | None:
         """Pop the next unexpired request, shedding expired ones."""
         while self._queue:
             request = self._queue.popleft()
+            if self.tracer.enabled:
+                request.dequeued_us = self.tracer.now_us()
             if request.deadline_at is not None and now > request.deadline_at:
                 self._shed(request, now)
                 continue
@@ -350,6 +428,7 @@ class InferenceServer:
                     if not request.future.done():
                         request.future._reject(
                             ServeError(f"inference failed: {exc!r}"))
+                        self._drop(request, "worker_error")
                 self.metrics.inc("serve.failed", len(taken))
             finally:
                 with self._lock:
@@ -358,6 +437,7 @@ class InferenceServer:
     def _run_batch(self, index: int, session: InferenceSession,
                    taken: list[_Request]) -> None:
         tracer = self._worker_tracers[index]
+        tracing = self.tracer.enabled
         shards = assemble(self.graph,
                           [(request, request.inputs) for request in taken],
                           batch=self.graph_batch)
@@ -368,15 +448,28 @@ class InferenceServer:
         self.metrics.observe("serve.batch_requests", len(taken))
         self.metrics.observe(
             "serve.batch_samples", sum(r.samples for r in taken))
-        # the batch span carries the request ids it served (and, via
-        # the TaggedTracer, the worker_id); every per-node executor
-        # span recorded by session.run nests inside it
+        trace_ids = [request.trace_id for request in taken]
+        padding = sum(shard.padding for shard in shards)
+        batch_start_us = tracer.now_us() if tracing else 0.0
+        # the batch span carries the ids of every request it coalesced
+        # (and, via the TaggedTracer, the worker_id / worker row);
+        # every per-node executor span recorded by session.run nests
+        # inside it and is tagged with the batch's trace ids
         with tracer.span("serve.batch", category="serve",
                          request_ids=[request.id for request in taken],
-                         requests=len(taken),
-                         samples=sum(r.samples for r in taken)):
+                         trace_ids=trace_ids, requests=len(taken),
+                         samples=sum(r.samples for r in taken),
+                         padding=padding):
+            if tracing:
+                # fan-in: one arrow per coalesced request, from its
+                # admission span into this batch span
+                fanin_us = tracer.now_us()
+                for request in taken:
+                    tracer.flow("serve.request", request.id, "finish",
+                                ts_us=fanin_us, trace_id=request.trace_id)
+            run_tracer = tracer.tagged(trace_ids=trace_ids) if tracing else None
             for shard in shards:
-                outputs = session.run(shard.inputs).outputs
+                outputs = session.run(shard.inputs, tracer=run_tracer).outputs
                 self.metrics.inc("serve.batches")
                 self.metrics.inc("serve.padded_samples", shard.padding)
                 now = time.monotonic()
@@ -386,19 +479,46 @@ class InferenceServer:
                     request.future._resolve(buffers.pop(request), latency)
                     self.metrics.inc("serve.completed")
                     self.metrics.observe("serve.latency_ms", latency * 1e3)
+                    if self.slo is not None:
+                        self.slo.record(latency, ok=True)
                     tracer.instant(
                         "serve.request_done", category="serve",
-                        request_id=request.id, samples=request.samples,
-                        latency_ms=latency * 1e3)
+                        request_id=request.id, trace_id=request.trace_id,
+                        samples=request.samples, latency_ms=latency * 1e3)
+                    if tracing:
+                        self._record_waterfall(tracer, request,
+                                               batch_start_us, latency)
                     if (request.deadline_at is not None
                             and now > request.deadline_at):
                         self.metrics.inc("serve.late_completions")
+
+    def _record_waterfall(self, tracer, request: _Request,
+                          batch_start_us: float, latency: float) -> None:
+        """The request's lifecycle as nested async slices on its own
+        lane: total, queue wait, batching delay (popped but held open
+        for co-riders), execute."""
+        done_us = tracer.now_us()
+        base = dict(trace_id=request.trace_id, category="serve")
+        tracer.async_slice("request", request.id, request.admitted_us,
+                           done_us, samples=request.samples,
+                           latency_ms=latency * 1e3, outcome="ok", **base)
+        dequeued = min(request.dequeued_us or done_us, done_us)
+        tracer.async_slice("queue_wait", request.id, request.admitted_us,
+                           dequeued, **base)
+        exec_start = min(max(batch_start_us, dequeued), done_us)
+        if exec_start > dequeued:
+            tracer.async_slice("batching", request.id, dequeued, exec_start,
+                               **base)
+        tracer.async_slice("execute", request.id, exec_start, done_us, **base)
 
     # -- introspection -------------------------------------------------
 
     def stats(self) -> dict[str, float]:
         """Point-in-time health/metrics snapshot (counters, gauges,
-        latency and batch-occupancy quantiles)."""
+        latency and batch-occupancy quantiles; with an SLO monitor
+        attached, fresh ``slo.*`` burn-rate gauges)."""
+        if self.slo is not None:
+            self.slo.export_gauges(self.metrics)
         snapshot = self.metrics.snapshot()
         with self._lock:
             snapshot["serve.queue_depth"] = float(len(self._queue))

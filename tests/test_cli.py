@@ -325,3 +325,83 @@ class TestBenchSuiteCLI:
         baseline.write_text(json.dumps(doc))
         assert main(["bench", "--compare", str(baseline)]) == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestProfileCLI:
+    def test_profile_prints_hot_tables(self, capsys):
+        assert main(["profile", "unet_small", "--batch", "1", "--hw", "16",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "hot op" in out and "hot layer" in out
+        assert "FLOP/B" in out and "GFLOP/s" in out
+        assert "traced run" in out
+
+    def test_profile_json_report(self, capsys):
+        assert main(["profile", "unet_small", "--batch", "1", "--hw", "16",
+                     "--repeats", "2", "--no-optimize", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"] == 2
+        ops = {row["key"]: row for row in doc["by_op"]}
+        assert "conv2d" in ops
+        assert ops["conv2d"]["flops"] > 0
+        assert ops["conv2d"]["total_bytes"] > 0
+
+    def test_profile_flamegraph_and_trace(self, capsys, tmp_path):
+        fg = tmp_path / "profile.collapsed"
+        tr = tmp_path / "profile.trace.json"
+        assert main(["profile", "unet_small", "--batch", "1", "--hw", "16",
+                     "--repeats", "1", "--flamegraph", str(fg),
+                     "--trace", str(tr)]) == 0
+        lines = fg.read_text().splitlines()
+        assert lines
+        # collapsed-stack format: "frame;frame;... <self_us>"
+        assert all(ln.rsplit(" ", 1)[1].isdigit() for ln in lines)
+        assert any(ln.startswith("repro;inference;") for ln in lines)
+        assert "traceEvents" in json.loads(tr.read_text())
+
+
+class TestServeSLOCLI:
+    def test_loadgen_slo_pass(self, capsys):
+        assert main(["loadgen", "unet_small", "--batch", "2", "--hw", "16",
+                     "--requests", "4", "--concurrency", "2",
+                     "--slo", "availability:0.5", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["slo_ok"] is True
+        (status,) = doc["slo"]
+        assert status["name"] == "availability_50"
+        assert status["healthy"] is True and status["good"] == 4
+
+    def test_loadgen_slo_violation_exits_nonzero(self, capsys):
+        # a 1 us latency objective is unmeetable: every completion burns
+        # budget, so the run must fail with the violation spelled out
+        assert main(["loadgen", "unet_small", "--batch", "2", "--hw", "16",
+                     "--requests", "4", "--concurrency", "2",
+                     "--slo", "latency:0.001:0.99"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out and "SLO VIOLATED" in out
+        assert "latency_0.001ms_99" in out
+
+    def test_loadgen_text_summary_lists_objectives(self, capsys):
+        assert main(["loadgen", "unet_small", "--batch", "2", "--hw", "16",
+                     "--requests", "4", "--concurrency", "2",
+                     "--slo", "availability:0.9",
+                     "--slo", "latency:60000:0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "slo [ok] availability_90" in out
+        assert "burn rate" in out
+
+    def test_serve_trace_flag_writes_request_waterfall(self, tmp_path):
+        # loadgen shares the serve pipeline; its --trace must carry the
+        # per-request async waterfall and the fan-in flow arrows
+        out = tmp_path / "serve.trace.json"
+        assert main(["loadgen", "unet_small", "--batch", "2", "--hw", "16",
+                     "--requests", "4", "--concurrency", "2",
+                     "--trace", str(out)]) == 0
+        events = json.loads(out.read_text())["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"b", "e", "s", "f"} <= phases
+        lanes = {e["name"] for e in events if e["ph"] == "b"}
+        assert {"request", "queue_wait", "execute"} <= lanes
+        labels = {e["args"]["name"] for e in events
+                  if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "worker-0" in labels

@@ -15,7 +15,9 @@ from repro.runtime import InferenceSession
 
 from _graph_fixtures import make_skip_graph, random_input
 
-VALID_PHASES = {"X", "i", "C", "M"}
+#: offline compile/run traces use the first four; serving traces add
+#: flow arrows ("s"/"f") and per-request async lanes ("b"/"e")
+VALID_PHASES = {"X", "i", "C", "M", "s", "f", "b", "e"}
 
 
 def _traced_run():
@@ -71,6 +73,97 @@ class TestChromeTraceSchema:
         doc = json.loads(path.read_text())
         assert doc["otherData"]["producer"] == "repro.obs"
         assert doc["otherData"]["metrics"]["executor.runs"] == 1
+
+
+class TestRowMetadata:
+    def test_named_and_used_rows_get_labels_and_sort_order(self):
+        tracer = Tracer()
+        tracer.name_thread(1, "worker-0")
+        tracer.complete("batch", 0, 10, tid=1)
+        tracer.complete("stray", 0, 10, tid=7)  # unnamed row with a span
+        events = to_chrome_trace(tracer)["traceEvents"]
+        names = {e["tid"]: e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert names[0] == "timeline"
+        assert names[1] == "worker-0"
+        assert names[7] == "tid-7"  # fallback label, never a bare tid
+        sort = {e["tid"]: e["args"]["sort_index"] for e in events
+                if e["ph"] == "M" and e["name"] == "thread_sort_index"}
+        assert sort == {0: 0, 1: 1, 7: 7}
+
+    def test_spans_render_on_their_tid(self):
+        tracer = Tracer()
+        tracer.complete("batch", 0, 10, tid=3)
+        (x_event,) = [e for e in to_chrome_trace(tracer)["traceEvents"]
+                      if e["ph"] == "X"]
+        assert x_event["tid"] == 3
+
+
+class TestFlowAndAsyncExport:
+    def test_flow_endpoints(self):
+        tracer = Tracer()
+        tracer.flow("serve.request", 42, "start", ts_us=1.0, tid=0)
+        tracer.flow("serve.request", 42, "finish", ts_us=5.0, tid=1)
+        flows = [e for e in to_chrome_trace(tracer)["traceEvents"]
+                 if e["ph"] in ("s", "f")]
+        start, finish = sorted(flows, key=lambda e: e["ts"])
+        assert start["ph"] == "s" and start["id"] == 42 and start["tid"] == 0
+        assert finish["ph"] == "f" and finish["tid"] == 1
+        assert finish["bp"] == "e"  # bind to the enclosing slice
+        assert "bp" not in start
+
+    def test_bad_flow_phase_rejected(self):
+        with pytest.raises(ValueError, match="phase"):
+            Tracer().flow("x", 1, "middle")
+
+    def test_async_slice_emits_balanced_pair(self):
+        tracer = Tracer()
+        tracer.async_slice("request", 7, 10.0, 30.0, category="serve",
+                           outcome="ok")
+        pair = [e for e in to_chrome_trace(tracer)["traceEvents"]
+                if e["ph"] in ("b", "e")]
+        begin, end = sorted(pair, key=lambda e: e["ts"])
+        assert begin["ph"] == "b" and begin["ts"] == 10.0
+        assert end["ph"] == "e" and end["ts"] == 30.0
+        assert begin["id"] == end["id"] == 7
+        assert begin["args"]["outcome"] == "ok"
+
+    def test_jsonl_carries_flow_async_and_tid(self):
+        tracer = Tracer()
+        tracer.complete("batch", 0, 10, tid=2)
+        tracer.flow("serve.request", 1, "start", ts_us=0.0)
+        tracer.async_slice("request", 1, 0.0, 10.0)
+        records = list(jsonl_records(tracer))
+        kinds = {r["type"] for r in records}
+        assert {"span", "flow", "async"} <= kinds
+        (span,) = [r for r in records if r["type"] == "span"]
+        assert span["tid"] == 2
+        assert all(r["phase"] in ("start", "finish", "begin", "end")
+                   for r in records if r["type"] in ("flow", "async"))
+
+
+class TestAbsorb:
+    def test_absorb_shifts_tags_and_rows(self):
+        worker = Tracer()
+        worker.complete("node", 5.0, 10.0, category="conv2d", op="conv2d")
+        worker.instant("mark", category="test")
+        worker.counter("memory", live_bytes=64)
+        records = worker.export_records()
+
+        parent = Tracer()
+        # pin the anchors: the worker's epoch is 2 s after the parent's
+        records["epoch_wall"] = parent.epoch_wall + 2.0
+        count = parent.absorb(records, tid=1000, trace_id="t1", shard=0)
+        assert count == 1
+        (span,) = parent.spans
+        assert span.tid == 1000
+        assert span.start_us == pytest.approx(5.0 + 2e6)
+        assert span.args["trace_id"] == "t1" and span.args["shard"] == 0
+        assert span.args["op"] == "conv2d"
+        (inst,) = parent.instants
+        assert inst.args["trace_id"] == "t1"
+        (sample,) = parent.counters
+        assert sample.values == {"live_bytes": 64}
 
 
 class TestMemoryCounterTrack:

@@ -70,6 +70,17 @@ class TestHistogram:
         assert set(snap) == {"count", "sum", "mean", "min", "max",
                              "p50", "p95", "p99"}
 
+    def test_fraction_below(self):
+        h = Histogram()
+        for v in range(1, 11):  # 1..10
+            h.observe(float(v))
+        assert h.fraction_below(10.0) == 1.0  # inclusive threshold
+        assert h.fraction_below(5.0) == pytest.approx(0.5)
+        assert h.fraction_below(0.5) == 0.0
+
+    def test_fraction_below_empty_is_vacuously_one(self):
+        assert Histogram().fraction_below(1.0) == 1.0
+
 
 class TestRegistryHistograms:
     def test_observe_creates_and_accumulates(self):
@@ -129,3 +140,43 @@ class TestThreadSafety:
             w.join()
         assert m.get("hits") == per_thread * threads
         assert m.quantiles("lat")["count"] == per_thread * threads
+
+    def test_concurrent_observe_with_concurrent_readers(self):
+        """The serving workers observe() while the metrics endpoint
+        snapshots — reservoir state must never tear or lose counts."""
+        m = MetricsRegistry()
+        per_thread, writers = 1_000, 6
+        stop = threading.Event()
+        snapshots: list[dict] = []
+
+        def write(worker: int):
+            for i in range(per_thread):
+                m.observe("serve.latency_ms", float(worker * per_thread + i))
+
+        def read():
+            while not stop.is_set():
+                snap = m.snapshot()
+                # counts only grow, quantiles stay within observed range
+                if snap:
+                    assert 0 <= snap["serve.latency_ms.count"] \
+                        <= per_thread * writers
+                    assert (snap["serve.latency_ms.min"]
+                            <= snap["serve.latency_ms.p50"]
+                            <= snap["serve.latency_ms.max"])
+                snapshots.append(snap)
+
+        threads = [threading.Thread(target=write, args=(w,))
+                   for w in range(writers)]
+        readers = [threading.Thread(target=read) for _ in range(2)]
+        for t in readers + threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        final = m.quantiles("serve.latency_ms")
+        assert final["count"] == per_thread * writers
+        assert final["min"] == 0.0
+        assert final["max"] == per_thread * writers - 1
+        assert snapshots, "readers must have run concurrently"

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.obs import Tracer, use_tracer
 from repro.runtime import ParallelRunner, execute, shard_batch
+from repro.runtime.parallel import PARALLEL_TID_BASE
 
 from _graph_fixtures import make_chain_graph, random_input
 
@@ -75,6 +77,62 @@ class TestParallelRunner:
         g = make_chain_graph()
         with pytest.raises(ValueError, match="num_workers"):
             ParallelRunner(g, num_workers=0)
+
+
+class TestCrossProcessTracePropagation:
+    def test_worker_shard_traces_are_absorbed(self):
+        g = make_chain_graph(batch=2)
+        big = {"x": np.random.default_rng(0).normal(
+            size=(4, 16, 12, 12)).astype(np.float32)}
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with ParallelRunner(g, num_workers=2) as runner:
+                out = runner.run(big, trace_id="feedc0de00000000")
+        assert out[g.outputs[0].name].shape[0] == 4
+
+        # the parent records the fan-out span with the propagated id
+        (run_span,) = [s for s in tracer.spans if s.name == "parallel.run"]
+        assert run_span.args["trace_id"] == "feedc0de00000000"
+        assert run_span.args["shards"] == 2
+
+        # each worker's shard timeline lands on its own labeled row,
+        # every absorbed span tagged with the run's trace id
+        shard_spans = [s for s in tracer.spans if s.tid >= PARALLEL_TID_BASE]
+        tids = {s.tid for s in shard_spans}
+        assert tids == {PARALLEL_TID_BASE, PARALLEL_TID_BASE + 1}
+        assert tracer.thread_names[PARALLEL_TID_BASE] == "shard-0"
+        assert tracer.thread_names[PARALLEL_TID_BASE + 1] == "shard-1"
+        assert all(s.args["trace_id"] == "feedc0de00000000"
+                   for s in shard_spans)
+        assert {s.args["shard"] for s in shard_spans} == {0, 1}
+
+        # per-op executor spans crossed the process boundary
+        for shard in (0, 1):
+            ops = [s for s in shard_spans
+                   if s.args["shard"] == shard and "op" in s.args]
+            assert len(ops) == len(g.nodes)
+        # and a shard-root span frames each worker timeline
+        roots = [s for s in shard_spans if s.name == "parallel.shard"]
+        assert len(roots) == 2
+
+    def test_fresh_trace_id_when_none_given(self):
+        g = make_chain_graph(batch=2)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            runner = ParallelRunner(g, num_workers=2)  # poolless local path
+            runner.run(random_input(g))
+        (run_span,) = [s for s in tracer.spans if s.name == "parallel.run"]
+        assert len(run_span.args["trace_id"]) == 16
+        # local fallback still tags executor spans with the trace id
+        ops = [s for s in tracer.spans if "op" in s.args]
+        assert ops
+        assert all(s.args["trace_id"] == run_span.args["trace_id"]
+                   for s in ops)
+
+    def test_untraced_run_records_nothing(self):
+        g = make_chain_graph(batch=2)
+        runner = ParallelRunner(g, num_workers=2)
+        runner.run(random_input(g))  # ambient NoopTracer: must not blow up
 
 
 class TestParallelRunnerLifecycle:
