@@ -21,13 +21,21 @@ Document schema (version 1)::
 
     {"schema": 1, "name": ..., "created_at": ...,
      "config": {"models": [...], "batch": ..., "hw": ..., "ratio": ...,
-                "method": ..., "seed": ..., "repeats": ..., "warmup": ...},
+                "method": ..., "seed": ..., "repeats": ..., "warmup": ...,
+                "budget": ... | null},
      "models": {model: {"best_variant": ...,
                         "reduction_pct": ...,
                         "variants": {variant: {
                             "peak_bytes": ...,
                             "latency_ms": {"p50": ..., "p95": ...,
-                                           "p99": ...}}}}}}
+                                           "p99": ...},
+                            "budgeted": {...}  # only when config.budget
+                        }}}}}
+
+The optional ``budgeted`` sub-document (present when the config sets a
+``budget``, e.g. ``repro bench --json --budget 60%``) reports the
+memory planner's enforced peak for that variant — informational only,
+``--compare`` never gates on it.
 """
 
 from __future__ import annotations
@@ -65,19 +73,54 @@ class BenchConfig:
     seed: int = 0
     repeats: int = 5
     warmup: int = 1
+    #: optional memory budget (``repro.plan.parse_budget`` grammar,
+    #: e.g. ``"60%"`` of each variant's own peak): adds an
+    #: *informational* budgeted-peak measurement per variant — it is
+    #: never gated by ``--compare``
+    budget: str | None = None
 
     def to_dict(self) -> dict:
         return {"models": list(self.models), "batch": self.batch,
                 "hw": self.hw, "ratio": self.ratio, "method": self.method,
                 "seed": self.seed, "repeats": self.repeats,
-                "warmup": self.warmup}
+                "warmup": self.warmup, "budget": self.budget}
 
     @classmethod
     def from_dict(cls, doc: dict) -> "BenchConfig":
         return cls(models=tuple(doc["models"]), batch=doc["batch"],
                    hw=doc["hw"], ratio=doc["ratio"], method=doc["method"],
                    seed=doc["seed"], repeats=doc["repeats"],
-                   warmup=doc["warmup"])
+                   warmup=doc["warmup"], budget=doc.get("budget"))
+
+
+def _budgeted_entry(graph, inputs, budget_spec: str,
+                    measured_peak: int) -> dict:
+    """One variant's informational budgeted-peak measurement.
+
+    The budget is parsed relative to the variant's *own* unplanned
+    measured peak (so ``"60%"`` means 60% of this row's peak), the
+    plan is enforced for one run, and the measured budgeted peak is
+    reported.  Infeasible budgets are reported, never fatal — this
+    column never gates.
+    """
+    from ..plan import InfeasibleBudget, parse_budget, plan_memory
+    from ..runtime.executor import execute
+
+    budget = parse_budget(budget_spec, reference=measured_peak)
+    try:
+        mplan = plan_memory(graph, budget)
+    except InfeasibleBudget as exc:
+        return {"budget_bytes": budget, "feasible": False,
+                "residual_bytes": exc.residual_bytes,
+                "planned_peak_bytes": exc.predicted_peak_bytes}
+    result = execute(graph, inputs, plan=mplan)
+    stats = result.memory.plan_stats
+    return {"budget_bytes": budget, "feasible": True,
+            "planned_peak_bytes": mplan.planned_peak_bytes,
+            "measured_peak_bytes": result.memory.peak_internal_bytes,
+            "spills": stats.spills if stats else 0,
+            "remats": stats.remats if stats else 0,
+            "spilled_bytes": stats.spilled_bytes if stats else 0}
 
 
 def collect_bench(config: BenchConfig | None = None, *,
@@ -108,6 +151,9 @@ def collect_bench(config: BenchConfig | None = None, *,
                                "p95": timing.p95 * 1e3,
                                "p99": timing.p99 * 1e3},
             }
+            if config.budget is not None:
+                variants[variant]["budgeted"] = _budgeted_entry(
+                    vs.graphs[variant], inputs, config.budget, int(peak))
         original_peak = variants["original"]["peak_bytes"]
         reduction = (1.0 - variants[best]["peak_bytes"] / original_peak) \
             * 100.0 if original_peak else 0.0

@@ -13,7 +13,16 @@ run MODEL|FILE.npz
     Execute one inference on synthetic input; print the memory profile
     and wall-clock time.  With ``--tuned``, execute the autotuned
     compiled plan from the tuning cache (tuning + compiling first on a
-    miss unless ``--no-tune``).
+    miss unless ``--no-tune``).  With ``--budget BYTES`` the
+    :mod:`repro.plan` planner computes a spill/prefetch/remat schedule
+    and the runtime enforces it — outputs stay bitwise identical while
+    the measured peak lands on the plan's simulated peak.
+plan MODEL|FILE.npz [--budget BYTES] [--optimize]
+    Compute (without enforcing) the budget-constrained memory plan:
+    the per-tensor action table, predicted peak, working-set floor and
+    cost-model overhead; ``--json`` for the full machine-readable
+    plan.  Exits non-zero with the residual when the budget is
+    infeasible.  See ``docs/memory_planning.md``.
 tune MODEL|FILE.npz
     Autotune the fused kernels' ``(block_size, spatial_tile)`` and
     persist the chosen tiles plus the compiled plan in the tuning
@@ -50,8 +59,11 @@ memcheck [MODEL ...]
     Memory conformance audit: run every requested zoo model (original
     *and* TeMCO-optimized) with the allocation ledger on and cross-check
     measured peak vs the liveness prediction, the arena plan, and the
-    ledger's own replay.  Exits non-zero on any mismatch.  See
-    ``docs/memory_auditing.md``.
+    ledger's own replay.  Exits non-zero on any mismatch.  With
+    ``--budget BYTES``, switches to budgeted-run conformance instead:
+    plan + enforce each model and check measured peak ≤ budget, peak ==
+    the plan's simulation, bitwise-identical outputs and a clean
+    spill/remat-tagged ledger.  See ``docs/memory_auditing.md``.
 bench {fig4,fig10,fig11,fig12}
     Regenerate one paper figure as a text table.
 bench [--json] [--name N] / bench --compare [BASELINE]
@@ -86,7 +98,8 @@ from .bench import (DEFAULT_MODELS, PAPER_LABELS, BenchConfig, collect_bench,
                     format_comparison, format_table,
                     internal_reduction_geomean, load_bench, overhead_ratios,
                     trace_figures, use_tuned_fusion, write_bench)
-from .core import TeMCOConfig, estimate_peak_internal, optimize
+from .core import (TeMCOConfig, estimate_peak_floor, estimate_peak_internal,
+                   optimize)
 from .decompose import DecompositionConfig, decompose_graph
 from .ir import (Graph, format_graph, load_graph, save_dot, save_graph,
                  summarize_graph)
@@ -94,6 +107,8 @@ from .models import EXTRA_MODELS, MODEL_ZOO, build_extra, build_model
 from .obs import (SLOMonitor, Tracer, configure_logging, parse_slos,
                   profile_tracer, use_tracer, write_collapsed_stacks,
                   write_trace)
+from .plan import (BudgetSyntaxError, InfeasibleBudget, PlanCostModel,
+                   format_bytes, parse_budget, plan_memory)
 from .runtime import (InferenceSession, metrics_markdown, plan_arena,
                       profile_markdown, timeline_csv)
 from .serve import (InferenceServer, LoadgenConfig, ServerConfig, resolve_plan,
@@ -231,6 +246,23 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
+def _budget_plan(graph: Graph, budget_spec: str):
+    """Parse a ``--budget`` spec against ``graph``'s predicted peak and
+    plan it.  Returns ``(memory_plan, reference_peak_bytes)``; raises
+    :class:`~repro.plan.InfeasibleBudget` when no schedule fits."""
+    reference = estimate_peak_internal(graph)
+    budget = parse_budget(budget_spec, reference=reference)
+    return plan_memory(graph, budget), reference
+
+
+def _print_infeasible(command: str, graph: Graph,
+                      exc: InfeasibleBudget) -> None:
+    print(f"{command}: {exc}", file=sys.stderr)
+    print(f"{command}: the irreducible working-set floor of "
+          f"{graph.name!r} is {format_bytes(estimate_peak_floor(graph))} — "
+          f"budgets below it can never fit", file=sys.stderr)
+
+
 def _cmd_run(args) -> int:
     graph = _load_model(args.model, args.batch, args.hw, args.seed)
     target = graph
@@ -253,19 +285,112 @@ def _cmd_run(args) -> int:
                 graph, cache=cache, decomposition=decomposition)
             print(f"tuned and cached {len(record.sites)} sites "
                   f"(key {record.key}, {record.total_trials} trials)")
+    memory_plan = None
+    if args.budget:
+        try:
+            memory_plan, reference = _budget_plan(target, args.budget)
+        except InfeasibleBudget as exc:
+            _print_infeasible("run", target, exc)
+            return 1
+        print(f"memory plan: {memory_plan.summary()} "
+              f"(unplanned peak {format_bytes(reference)})")
     rng = np.random.default_rng(args.seed)
     inputs = {v.name: rng.normal(size=v.shape).astype(v.dtype.np)
               for v in target.inputs}
-    session = InferenceSession(target)
+    session = InferenceSession(target, memory_plan=memory_plan)
     timing = session.time_inference(inputs, warmup=1, repeats=args.repeats)
     result = session.run(inputs)
     print(f"output shapes: "
           f"{ {k: v.shape for k, v in result.outputs.items()} }")
     print(result.memory.summary())
+    if memory_plan is not None:
+        stats = result.memory.plan_stats
+        measured = result.memory.peak_internal_bytes
+        ok = measured <= memory_plan.budget_bytes
+        print(f"budgeted peak: measured {format_bytes(measured)}, planned "
+              f"{format_bytes(memory_plan.planned_peak_bytes)}, budget "
+              f"{format_bytes(memory_plan.budget_bytes)} — "
+              f"{'within budget' if ok else 'OVER BUDGET'}; "
+              f"{stats.spills} spill(s) "
+              f"({format_bytes(stats.spilled_bytes)} spilled), "
+              f"{stats.remats} remat(s)")
+        if not ok:
+            return 1
     print(f"median wall-clock: {timing.median * 1e3:.1f} ms "
           f"over {args.repeats} runs")
     print(f"latency percentiles: p50 {timing.p50 * 1e3:.1f} ms, "
           f"p95 {timing.p95 * 1e3:.1f} ms, p99 {timing.p99 * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    """``repro plan``: compute and display a budget-constrained memory
+    plan without (necessarily) running it."""
+    graph = _load_model(args.model, args.batch, args.hw, args.seed)
+    target = graph
+    if args.optimize:
+        decomposed = decompose_graph(graph, DecompositionConfig(
+            method=args.method, ratio=args.ratio, seed=args.seed))
+        target, _report = optimize(decomposed)
+    cost_model = PlanCostModel(
+        spill_bandwidth_bytes_per_s=args.spill_gbps * 1e9,
+        recompute_flops_per_s=args.compute_gflops * 1e9)
+    baseline = estimate_peak_internal(target)
+    floor = estimate_peak_floor(target)
+    budget = (parse_budget(args.budget, reference=baseline)
+              if args.budget else None)
+    try:
+        mplan = plan_memory(target, budget, cost_model=cost_model)
+    except InfeasibleBudget as exc:
+        if args.json:
+            print(json.dumps(
+                {"graph": target.name, "feasible": False,
+                 "budget_bytes": budget, "baseline_peak_bytes": baseline,
+                 "floor_bytes": floor,
+                 "best_peak_bytes": exc.predicted_peak_bytes,
+                 "residual_bytes": exc.residual_bytes},
+                indent=1, sort_keys=True))
+        else:
+            _print_infeasible("plan", target, exc)
+        return 1
+    if args.json:
+        doc = mplan.to_dict()
+        doc["floor_bytes"] = floor
+        doc["feasible"] = mplan.within_budget
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0
+    rows = []
+    for action in mplan.actions:
+        if action.kind == "spill":
+            use = ("output" if action.next_use >= mplan.num_nodes
+                   else f"use@{action.next_use}")
+            schedule = (f"spill@{action.spill_after} "
+                        f"prefetch@{action.prefetch_issue} {use}")
+        elif action.kind == "remat":
+            schedule = (f"drop@{action.drop_after} "
+                        f"remat@{action.remat_before} "
+                        f"chain={len(action.chain)}")
+        else:
+            schedule = "resident at peak"
+        rows.append([action.kind, action.value.name,
+                     f"{action.nbytes / 1024:.1f}",
+                     f"{action.cost_seconds(cost_model) * 1e6:.1f}",
+                     schedule])
+    print(format_table(
+        ["action", "tensor", "KiB", "cost us", "schedule"], rows,
+        title=f"memory plan for {target.name!r} ({len(target.nodes)} nodes)"))
+    print()
+    print(f"baseline peak: {format_bytes(baseline)}   "
+          f"floor: {format_bytes(floor)}")
+    line = f"planned peak:  {format_bytes(mplan.planned_peak_bytes)}"
+    if budget is not None:
+        line += (f"   budget: {format_bytes(budget)} "
+                 f"({'fits' if mplan.within_budget else 'DOES NOT FIT'})")
+    print(line)
+    print(f"relief: {format_bytes(mplan.relief_bytes)} via "
+          f"{len(mplan.spills)} spill(s) + {len(mplan.remats)} remat(s); "
+          f"predicted overhead "
+          f"{mplan.predicted_overhead_seconds * 1e3:.3f} ms")
     return 0
 
 
@@ -296,10 +421,29 @@ def _slo_monitor(args) -> SLOMonitor | None:
     return SLOMonitor(parse_slos(specs)) if specs else None
 
 
+def _serve_memory_plan(plan: Graph, args):
+    """Resolve ``--budget`` for the serving graph; ``(ok, plan|None)``."""
+    if not getattr(args, "budget", None):
+        return True, None
+    try:
+        mplan, reference = _budget_plan(plan, args.budget)
+    except InfeasibleBudget as exc:
+        _print_infeasible("serve", plan, exc)
+        return False, None
+    # stderr: loadgen --json keeps stdout machine-parseable
+    print(f"memory plan: {mplan.summary()} "
+          f"(unplanned peak {format_bytes(reference)})", file=sys.stderr)
+    return True, mplan
+
+
 def _cmd_serve(args) -> int:
     plan = _serve_plan(args)
+    ok, mplan = _serve_memory_plan(plan, args)
+    if not ok:
+        return 1
     slo = _slo_monitor(args)
-    with InferenceServer(plan, _server_config(args), slo=slo) as server:
+    with InferenceServer(plan, _server_config(args), slo=slo,
+                         memory_plan=mplan) as server:
         with serve_http(server, host=args.host, port=args.port) as frontend:
             host, port = frontend.address
             print(f"serving {plan.name!r} on http://{host}:{port} "
@@ -333,8 +477,12 @@ def _cmd_loadgen(args) -> int:
         deadline_s=(args.deadline_ms / 1e3
                     if args.deadline_ms is not None else None),
         seed=args.seed)
+    ok, mplan = _serve_memory_plan(plan, args)
+    if not ok:
+        return 1
     slo = _slo_monitor(args)
-    with InferenceServer(plan, _server_config(args), slo=slo) as server:
+    with InferenceServer(plan, _server_config(args), slo=slo,
+                         memory_plan=mplan) as server:
         report = run_loadgen(server, config)
         stats = server.stats()
     # errors are always fatal; an unhealthy SLO is fatal when asked for
@@ -479,6 +627,51 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_memcheck_budget(args, models: list[str]) -> int:
+    """``repro memcheck --budget``: budgeted-run conformance per model."""
+    from .obs.audit import audit_budgeted
+
+    audits = []
+    for model in models:
+        graph = build_model(model, batch=args.batch, hw=args.hw,
+                            seed=args.seed)
+        reference = estimate_peak_internal(graph)
+        budget = parse_budget(args.budget, reference=reference)
+        audits.append(audit_budgeted(graph, budget, model=model,
+                                     seed=args.seed))
+    if args.json:
+        print(json.dumps([ba.to_dict() for ba in audits], indent=1,
+                         sort_keys=True))
+        return 0 if all(ba.passed for ba in audits) else 1
+    rows = [[ba.model, ba.budget_bytes, ba.planned_peak_bytes,
+             ba.measured_peak_bytes, ba.spills, ba.remats,
+             "ok" if ba.passed else "FAIL"] for ba in audits]
+    print(format_table(
+        ["model", "budget B", "planned B", "measured B", "spills", "remats",
+         "verdict"],
+        rows, title=f"budgeted-run conformance (budget {args.budget}, "
+                    f"batch {args.batch}, hw {args.hw})"))
+    print()
+    for ba in audits:
+        status = "PASS" if ba.passed else "FAIL"
+        print(f"{status} {ba.model}: baseline "
+              f"{format_bytes(ba.baseline_peak_bytes)} -> budgeted "
+              f"{format_bytes(ba.measured_peak_bytes)} "
+              f"({format_bytes(ba.spilled_bytes)} spilled)")
+        for finding in ba.findings:
+            marker = "!" if finding.severity == "error" else "~"
+            print(f"  {marker} [{finding.kind}] {finding.message}")
+    failed = [ba.model for ba in audits if not ba.passed]
+    print()
+    if failed:
+        print(f"memcheck FAILED for {len(failed)}/{len(audits)} model(s): "
+              f"{', '.join(failed)}")
+        return 1
+    print(f"memcheck passed: {len(audits)} budgeted run(s) — measured peak "
+          f"within budget, bitwise-identical outputs, ledger consistent")
+    return 0
+
+
 def _cmd_memcheck(args) -> int:
     from .obs.audit import audit_zoo
 
@@ -488,6 +681,8 @@ def _cmd_memcheck(args) -> int:
         print(f"memcheck: unknown zoo model(s) {unknown}; "
               f"see `repro models`", file=sys.stderr)
         return 2
+    if args.budget:
+        return _cmd_memcheck_budget(args, models)
     audits = audit_zoo(models, batch=args.batch, hw=args.hw,
                        ratio=args.ratio, method=args.method, seed=args.seed,
                        tolerance=args.tolerance)
@@ -545,18 +740,28 @@ def _cmd_bench_suite(args) -> int:
         print(format_comparison(comparison))
         return 0 if comparison.passed else 1
     config = BenchConfig(models=tuple(args.models or DEFAULT_MODELS),
-                         batch=args.batch, hw=args.hw, repeats=args.repeats)
+                         batch=args.batch, hw=args.hw, repeats=args.repeats,
+                         budget=args.budget)
     doc = collect_bench(config, name=args.name)
+    headers = ["model", "variant", "peak B", "p50 ms", "p95 ms", "p99 ms"]
+    if config.budget:
+        # informational: the planner-enforced peak under --budget
+        headers.append(f"peak B @ {config.budget}")
     rows = []
     for model, entry in sorted(doc["models"].items()):
         for variant, v in sorted(entry["variants"].items()):
-            rows.append([model, variant, v["peak_bytes"],
-                         f"{v['latency_ms']['p50']:.2f}",
-                         f"{v['latency_ms']['p95']:.2f}",
-                         f"{v['latency_ms']['p99']:.2f}"])
+            row = [model, variant, v["peak_bytes"],
+                   f"{v['latency_ms']['p50']:.2f}",
+                   f"{v['latency_ms']['p95']:.2f}",
+                   f"{v['latency_ms']['p99']:.2f}"]
+            if config.budget:
+                budgeted = v.get("budgeted", {})
+                row.append(budgeted["measured_peak_bytes"]
+                           if budgeted.get("feasible") else "infeasible")
+            rows.append(row)
     print(format_table(
-        ["model", "variant", "peak B", "p50 ms", "p95 ms", "p99 ms"],
-        rows, title=f"bench suite {doc['name']!r} ({doc['created_at']})"))
+        headers, rows,
+        title=f"bench suite {doc['name']!r} ({doc['created_at']})"))
     for model, entry in sorted(doc["models"].items()):
         print(f"{model}: {entry['reduction_pct']:.1f}% peak reduction "
               f"({entry['best_variant']})")
@@ -641,6 +846,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("debug", "info", "warning", "error"),
                        help="wire stdlib logging for the repro.* loggers")
 
+    def budget_flag(p):
+        p.add_argument("--budget", default=None, metavar="BYTES",
+                       help="enforce an internal-tensor memory budget via "
+                            "the repro.plan planner; bytes, a KiB/MiB/GiB "
+                            "suffix, or NN%% of the unplanned predicted "
+                            "peak (e.g. 256MiB, 60%%)")
+
     def tune_flags(p, *, no_tune: bool = True):
         p.add_argument("--tuned", action="store_true",
                        help="use autotuned fused-kernel tiles from the "
@@ -682,8 +894,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="decomposition method for the --tuned plan lookup")
     p.add_argument("--ratio", type=float, default=0.1,
                    help="decomposition ratio for the --tuned plan lookup")
+    budget_flag(p)
     tune_flags(p)
     p.set_defaults(fn=_obs_wrap(_cmd_run))
+
+    p = sub.add_parser("plan", help="budget-constrained memory plan: "
+                                    "spill/prefetch/remat schedule, cost "
+                                    "model, predicted peak")
+    common(p)
+    obs_flags(p)
+    budget_flag(p)
+    p.add_argument("--optimize", action="store_true",
+                   help="plan the decomposed + TeMCO-optimized graph "
+                        "instead of the raw model")
+    p.add_argument("--method", choices=("tucker", "cp", "tt"), default="tucker",
+                   help="decomposition method for --optimize")
+    p.add_argument("--ratio", type=float, default=0.1,
+                   help="decomposition ratio for --optimize")
+    p.add_argument("--spill-gbps", type=float, default=12.0,
+                   dest="spill_gbps", metavar="GBPS",
+                   help="modelled host<->device spill bandwidth in GB/s "
+                        "(default 12)")
+    p.add_argument("--compute-gflops", type=float, default=2000.0,
+                   dest="compute_gflops", metavar="GFLOPS",
+                   help="modelled recompute throughput in GFLOP/s "
+                        "(default 2000)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full plan as JSON (for scripts/CI)")
+    p.set_defaults(fn=_obs_wrap(_cmd_plan))
 
     p = sub.add_parser("tune", help="autotune fused-kernel tiles and cache "
                                     "the compiled plan")
@@ -759,6 +997,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="decomposition method for the --tuned plan lookup")
         p.add_argument("--ratio", type=float, default=0.1,
                        help="decomposition ratio for the --tuned plan lookup")
+        budget_flag(p)
         p.add_argument("--slo", action="append", default=None, metavar="SPEC",
                        help="service-level objective, repeatable: "
                             "availability:TARGET[:WINDOW_S] or "
@@ -828,6 +1067,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.0,
                    help="allowed relative measured-vs-predicted peak "
                         "deviation (default 0.0: bit-exact)")
+    budget_flag(p)
     p.add_argument("--json", action="store_true",
                    help="print the audit results as JSON (for scripts/CI)")
     obs_flags(p)
@@ -870,6 +1110,10 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="latency_tolerance", metavar="PCT",
                    help="--compare: gate p50 latency at PCT percent growth "
                         "(default: latency is informational only)")
+    p.add_argument("--budget", default=None, metavar="BYTES",
+                   help="suite mode: add an informational budgeted-peak "
+                        "column (repro.plan enforced; NN%% is relative to "
+                        "each variant's own peak; never gated)")
     obs_flags(p)
     tune_flags(p, no_tune=False)
     p.set_defaults(fn=_cmd_bench)
@@ -878,7 +1122,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BudgetSyntaxError as exc:
+        # a misspelled --budget is a usage error, same exit code as
+        # argparse's own rejections
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,8 +15,8 @@ from .equivalence import (EquivalenceReport, assert_equivalent, compare_graphs,
 from .folding import fold_batchnorm
 from .fusion import FusionConfig, FusionStats, fuse_activation_layers
 from .liveness import (LiveInterval, SkipConnection, analyze_liveness,
-                       estimate_peak_internal, find_skip_connections,
-                       live_bytes_at)
+                       estimate_peak_floor, estimate_peak_internal,
+                       find_skip_connections, live_bytes_at)
 from .memory_model import (ConvPairSpec, eq1_weight_elems_original,
                            eq2_weight_elems_decomposed,
                            eq3_peak_internal_original,
@@ -34,6 +34,7 @@ __all__ = [
     "SkipConnection",
     "analyze_liveness",
     "estimate_peak_internal",
+    "estimate_peak_floor",
     "find_skip_connections",
     "live_bytes_at",
     "ConvPairSpec",

@@ -16,7 +16,8 @@ from ..ir.node import Node
 from ..ir.value import Value
 
 __all__ = ["LiveInterval", "analyze_liveness", "live_bytes_at",
-           "estimate_peak_internal", "SkipConnection", "find_skip_connections"]
+           "estimate_peak_internal", "estimate_peak_floor",
+           "SkipConnection", "find_skip_connections"]
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,25 @@ def estimate_peak_internal(graph: Graph, *,
                 inplace_saving[i] = v.nbytes
     return max(live_bytes_at(intervals, i) - inplace_saving.get(i, 0)
                for i in range(len(graph.nodes)))
+
+
+def estimate_peak_floor(graph: Graph) -> int:
+    """The irreducible working set: the largest inputs+output footprint
+    of any single node (each input counted once), or the total input
+    bytes when that is larger (inputs are all bound before node 0).
+
+    No memory plan can beat this — every node's operands and result
+    must be resident while it runs, whatever gets spilled or
+    rematerialized around it.  Budgets below this floor are infeasible
+    by construction; :func:`repro.plan.plan_memory` reports them with
+    the residual against its best achievable peak.
+    """
+    floor = sum(v.nbytes for v in graph.inputs)
+    for node in graph.nodes:
+        distinct = {v.name: v.nbytes for v in node.inputs}
+        distinct[node.output.name] = node.output.nbytes
+        floor = max(floor, sum(distinct.values()))
+    return floor
 
 
 @dataclass(frozen=True)

@@ -98,6 +98,8 @@ def _eligible(node: Node, config: DecompositionConfig) -> bool:
         return False
     if int(node.attrs.get("groups", 1)) != 1:
         return False
+    if list(node.attrs.get("dilation", [1, 1])) != [1, 1]:
+        return False  # the factorized sequence does not model dilation
     weight = node.params["weight"]
     cout, cin, kh, kw = weight.shape
     if kh == 1 and kw == 1:

@@ -5,9 +5,11 @@ from .common import ModelSpec
 from .densenet import DENSENET_CONFIGS, build_densenet
 from .extras import (EXTRA_MODELS, build_extra, build_resnet_bottleneck,
                      build_vgg_silu)
+from .fractalnet import build_fractalnet
 from .resnet import RESNET_CONFIGS, build_resnet
 from .unet import build_unet
 from .vgg import VGG_CONFIGS, build_vgg
+from .wavenet import build_wavenet2d
 from .zoo import MODEL_ZOO, build_model, model_names
 
 __all__ = [
@@ -23,6 +25,8 @@ __all__ = [
     "build_densenet",
     "DENSENET_CONFIGS",
     "build_unet",
+    "build_wavenet2d",
+    "build_fractalnet",
     "EXTRA_MODELS",
     "build_extra",
     "build_resnet_bottleneck",

@@ -1,0 +1,57 @@
+"""WaveNet-style 2D dilated residual stack with summed skip outputs.
+
+The memory shape the budget planner targets: every residual layer taps
+a same-sized *skip* tensor that idles until all of them are summed at
+the head, so the live set grows linearly with depth while no single
+node ever needs more than three tensors resident.  Peak is therefore
+far above the irreducible working-set floor
+(:func:`repro.core.estimate_peak_floor`), which makes tight
+``--budget`` values honestly feasible through spill/prefetch — unlike
+the pyramid-shaped classification models whose peak *is* one node's
+working set.
+
+Gated activations (``tanh × sigmoid``) are replaced by ReLU since the
+kernel set has no elementwise multiply; the memory behaviour — the
+part that matters here — is unchanged.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from .common import conv_relu
+
+__all__ = ["build_wavenet2d"]
+
+
+def build_wavenet2d(batch: int = 4, hw: int = 32, num_classes: int = 1,
+                    seed: int = 0, *, channels: int = 24, layers: int = 8,
+                    dilation_cycle: tuple[int, ...] = (1, 2, 4, 8)) -> Graph:
+    """Build a flat-resolution dilated skip-sum network.
+
+    ``layers`` residual layers at constant ``channels`` width and full
+    ``hw`` resolution; layer *i* uses a 3×3 conv with dilation
+    ``dilation_cycle[i % len(dilation_cycle)]`` (padding matched so the
+    resolution never changes).  Each layer's 1×1 skip tap stays live
+    until the pairwise skip sum before the sigmoid head.
+    """
+    if layers < 2:
+        raise ValueError(f"wavenet2d needs at least 2 layers, got {layers}")
+    b = GraphBuilder("wavenet2d", seed=seed)
+    x = b.input("image", (batch, 3, hw, hw))
+    res = conv_relu(b, x, channels, 3, padding=1, name="stem")
+
+    skips = []
+    for i in range(layers):
+        d = dilation_cycle[i % len(dilation_cycle)]
+        h = b.relu(b.conv2d(res, channels, 3, padding=d, dilation=d,
+                            name=f"layer{i}.conv"))
+        skips.append(b.conv2d(h, channels, 1, name=f"layer{i}.skip"))
+        if i < layers - 1:  # the last residual update would be dead code
+            res = b.add(res, b.conv2d(h, channels, 1, name=f"layer{i}.res"),
+                        name=f"layer{i}.out")
+
+    s = skips[0]
+    for i, skip in enumerate(skips[1:], start=1):
+        s = b.add(s, skip, name=f"skip_sum{i}")
+    logits = b.conv2d(b.relu(s), num_classes, 1, name="head")
+    return b.finish(b.sigmoid(logits))

@@ -1,4 +1,7 @@
-"""The benchmark model zoo: 10 models of 5 architectures (paper §4.1).
+"""The benchmark model zoo: the paper's 10 models of 5 architectures
+(§4.1) plus two flat-resolution long-skip stacks whose peak sits far
+above the single-node working-set floor — the regime the budget
+planner (:mod:`repro.plan`) is built for.
 
 ========== ============ ============== =====================
 model      family       task           TeMCO variants
@@ -10,6 +13,8 @@ resnet34   ResNet       classification Skip-Opt(+Fusion)
 densenet   DenseNet     classification Skip-Opt(+Fusion)
 unet       UNet         segmentation   Skip-Opt(+Fusion)
 unet_small UNet         segmentation   Skip-Opt(+Fusion)
+wavenet2d  WaveNet      segmentation   Skip-Opt(+Fusion)
+fractalnet FractalNet   classification Skip-Opt(+Fusion)
 ========== ============ ============== =====================
 """
 
@@ -21,9 +26,11 @@ from ..ir.graph import Graph
 from .alexnet import build_alexnet
 from .common import ModelSpec
 from .densenet import build_densenet
+from .fractalnet import build_fractalnet
 from .resnet import build_resnet
 from .unet import build_unet
 from .vgg import build_vgg
+from .wavenet import build_wavenet2d
 
 __all__ = ["MODEL_ZOO", "build_model", "model_names"]
 
@@ -54,11 +61,15 @@ MODEL_ZOO: dict[str, ModelSpec] = {
     "unet": ModelSpec("unet", "UNet", "segmentation", 96, True, build_unet),
     "unet_small": ModelSpec("unet_small", "UNet", "segmentation", 64, True,
                             _unet_small),
+    "wavenet2d": ModelSpec("wavenet2d", "WaveNet", "segmentation", 32, True,
+                           build_wavenet2d),
+    "fractalnet": ModelSpec("fractalnet", "FractalNet", "classification", 32,
+                            True, build_fractalnet),
 }
 
 
 def model_names() -> list[str]:
-    """Names of the paper's 10 benchmark models, zoo order."""
+    """Names of the zoo models (the paper's 10 + 2 long-skip stacks)."""
     return list(MODEL_ZOO)
 
 

@@ -44,9 +44,9 @@ from ..runtime.executor import execute
 from ..runtime.memory_profile import MemoryProfile
 from .tracer import get_tracer
 
-__all__ = ["AuditFinding", "GraphAudit", "ModelAudit", "audit_graph",
-           "audit_model", "audit_zoo", "ledger_findings",
-           "DEFAULT_TOLERANCE"]
+__all__ = ["AuditFinding", "GraphAudit", "ModelAudit", "BudgetAudit",
+           "audit_graph", "audit_model", "audit_zoo", "audit_budgeted",
+           "ledger_findings", "DEFAULT_TOLERANCE"]
 
 #: default relative tolerance for measured-vs-predicted peak agreement.
 #: The refcounting executor implements exactly the liveness model, so
@@ -63,8 +63,11 @@ class AuditFinding:
 
     ``kind`` is machine-readable: ``ledger_inconsistent``,
     ``peak_mismatch``, ``arena_overflow``, ``arena_lower_bound``,
-    ``profile_mismatch``, ``no_reduction``.  ``severity`` is ``error``
-    (fails the audit) or ``warning`` (reported only).
+    ``profile_mismatch``, ``no_reduction``, and — from the budgeted
+    audit (:func:`audit_budgeted`) — ``infeasible_budget``,
+    ``budget_exceeded``, ``plan_mismatch``, ``output_divergence``.
+    ``severity`` is ``error`` (fails the audit) or ``warning``
+    (reported only).
     """
 
     kind: str
@@ -275,6 +278,146 @@ def _emit_arena_track(tracer, plan: ArenaPlan, span_base: int) -> None:
             continue
         tracer.counter("arena", ts_us=ts, occupied_bytes=occupied,
                        arena_bytes=plan.arena_bytes)
+
+
+@dataclass
+class BudgetAudit:
+    """Conformance verdict for one budget-enforced run of one graph.
+
+    The budgeted run must honour four claims at once: the plan is
+    feasible, the *measured* ledger peak stays at or under the budget,
+    the measured peak lands exactly on the planner's simulated peak
+    (the byte-exact contract of :func:`repro.plan.simulate_plan`), and
+    the outputs are bitwise identical to an unplanned run.
+    """
+
+    model: str
+    graph_name: str
+    budget_bytes: int
+    baseline_peak_bytes: int
+    planned_peak_bytes: int
+    measured_peak_bytes: int
+    spills: int
+    remats: int
+    spilled_bytes: int
+    findings: list[AuditFinding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[AuditFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model, "graph": self.graph_name,
+            "budget_bytes": self.budget_bytes,
+            "baseline_peak_bytes": self.baseline_peak_bytes,
+            "planned_peak_bytes": self.planned_peak_bytes,
+            "measured_peak_bytes": self.measured_peak_bytes,
+            "spills": self.spills, "remats": self.remats,
+            "spilled_bytes": self.spilled_bytes,
+            "passed": self.passed,
+            "findings": [vars(f) for f in self.findings],
+        }
+
+
+def audit_budgeted(graph: Graph, budget_bytes: int,
+                   inputs: dict[str, np.ndarray] | None = None, *,
+                   model: str = "", seed: int = 0) -> BudgetAudit:
+    """Plan ``graph`` to ``budget_bytes`` and verify the enforced run.
+
+    Runs the graph twice — unplanned (the reference) and with the
+    memory plan enforced and the ledger on — and cross-checks:
+
+    1. **feasibility** — an infeasible budget is the typed
+       ``infeasible_budget`` finding (with the planner's residual),
+       not an exception,
+    2. **budget** — the measured ledger peak is ≤ ``budget_bytes``
+       (``budget_exceeded``),
+    3. **plan conformance** — the measured peak equals the plan's
+       simulated peak bit-for-bit (``plan_mismatch``),
+    4. **semantics** — every output is bitwise identical to the
+       unplanned run (``output_divergence``),
+    5. **ledger self-consistency** — the spill/remat-tagged event log
+       replays cleanly (``ledger_inconsistent``).
+    """
+    from ..plan import InfeasibleBudget, plan_memory
+
+    if inputs is None:
+        rng = np.random.default_rng(seed)
+        inputs = {v.name: rng.normal(size=v.shape).astype(v.dtype.np)
+                  for v in graph.inputs}
+    subject = graph.name or model
+    tracer = get_tracer()
+
+    with tracer.span("budget_audit", category="obs", graph=graph.name,
+                     budget_bytes=budget_bytes):
+        reference = execute(graph, inputs)
+        baseline_peak = reference.memory.peak_internal_bytes
+        try:
+            mplan = plan_memory(graph, budget_bytes)
+        except InfeasibleBudget as exc:
+            finding = AuditFinding(
+                kind="infeasible_budget", severity="error", subject=subject,
+                message=str(exc), measured=exc.predicted_peak_bytes,
+                expected=budget_bytes)
+            return BudgetAudit(
+                model=model, graph_name=graph.name,
+                budget_bytes=budget_bytes,
+                baseline_peak_bytes=baseline_peak,
+                planned_peak_bytes=exc.predicted_peak_bytes,
+                measured_peak_bytes=0, spills=0, remats=0, spilled_bytes=0,
+                findings=[finding])
+        result = execute(graph, inputs, plan=mplan, record_ledger=True)
+
+    profile = result.memory
+    measured = profile.peak_internal_bytes
+    findings: list[AuditFinding] = []
+
+    if measured > budget_bytes:
+        findings.append(AuditFinding(
+            kind="budget_exceeded", severity="error", subject=subject,
+            message=(f"measured peak {measured} B exceeds the enforced "
+                     f"budget of {budget_bytes} B"),
+            measured=measured, expected=budget_bytes))
+    if measured != mplan.planned_peak_bytes:
+        findings.append(AuditFinding(
+            kind="plan_mismatch", severity="error", subject=subject,
+            message=(f"measured peak {measured} B disagrees with the "
+                     f"plan's simulated peak {mplan.planned_peak_bytes} B — "
+                     f"the enforcer and the simulation diverged"),
+            measured=measured, expected=mplan.planned_peak_bytes))
+    for name, array in reference.outputs.items():
+        if not np.array_equal(array, result.outputs[name]):
+            findings.append(AuditFinding(
+                kind="output_divergence", severity="error", subject=subject,
+                message=(f"output {name!r} of the budgeted run is not "
+                         f"bitwise identical to the unplanned run")))
+    findings += ledger_findings(
+        profile.ledger, expected_peak=measured,
+        keep={v.name for v in graph.outputs}, subject=subject)
+
+    if tracer.enabled:
+        tracer.instant(
+            "budget_audit_verdict", category="obs", graph=subject,
+            passed=not any(f.severity == "error" for f in findings),
+            budget_bytes=budget_bytes, measured_peak_bytes=measured,
+            planned_peak_bytes=mplan.planned_peak_bytes,
+            spills=len(mplan.spills), remats=len(mplan.remats))
+
+    stats = profile.plan_stats
+    return BudgetAudit(
+        model=model, graph_name=graph.name, budget_bytes=budget_bytes,
+        baseline_peak_bytes=baseline_peak,
+        planned_peak_bytes=mplan.planned_peak_bytes,
+        measured_peak_bytes=measured,
+        spills=stats.spills if stats else 0,
+        remats=stats.remats if stats else 0,
+        spilled_bytes=stats.spilled_bytes if stats else 0,
+        findings=findings)
 
 
 def audit_model(model: str, *, batch: int = 2, hw: int | None = 32,

@@ -1,0 +1,85 @@
+"""Budget grammar for ``--budget`` flags.
+
+A budget names an internal-tensor byte ceiling.  Three spellings are
+accepted, case-insensitively:
+
+- plain integers, optionally suffixed ``B``: ``1048576``, ``1048576B``;
+- binary / decimal size suffixes, with an optional fractional part:
+  ``64KiB``, ``1.5MiB``, ``2GiB`` (powers of 1024) and ``64KB``,
+  ``1.5MB``, ``2GB`` (powers of 1000);
+- a percentage of a reference peak: ``60%`` means 60% of the
+  *unplanned* predicted peak of the graph being planned (the caller
+  supplies the reference).
+
+The parse always floors to whole bytes: a budget is a ceiling, so
+rounding up could admit a plan that exceeds what the user asked for.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["parse_budget", "format_bytes", "BudgetSyntaxError"]
+
+_UNITS = {
+    "": 1,
+    "b": 1,
+    "kib": 1024,
+    "mib": 1024 ** 2,
+    "gib": 1024 ** 3,
+    "kb": 1000,
+    "mb": 1000 ** 2,
+    "gb": 1000 ** 3,
+}
+
+_PATTERN = re.compile(
+    r"^\s*(?P<number>\d+(?:\.\d+)?)\s*(?P<unit>%|[a-z]*)\s*$", re.IGNORECASE)
+
+
+class BudgetSyntaxError(ValueError):
+    """Raised when a budget string does not parse."""
+
+
+def parse_budget(text: str | int, *, reference: int | None = None) -> int:
+    """Parse a budget spec into whole bytes.
+
+    ``reference`` is the unplanned predicted peak used to resolve
+    percentage budgets; passing a percentage without one is an error.
+    """
+    if isinstance(text, int):
+        if text <= 0:
+            raise BudgetSyntaxError(f"budget must be positive, got {text}")
+        return text
+    m = _PATTERN.match(text)
+    if not m:
+        raise BudgetSyntaxError(
+            f"cannot parse budget {text!r}; expected bytes, a KiB/MiB/GiB/"
+            f"KB/MB/GB size, or a percentage like '60%'")
+    number = float(m.group("number"))
+    unit = m.group("unit").lower()
+    if unit == "%":
+        if reference is None:
+            raise BudgetSyntaxError(
+                f"percentage budget {text!r} needs a reference peak")
+        nbytes = int(number / 100.0 * reference)
+    else:
+        try:
+            nbytes = int(number * _UNITS[unit])
+        except KeyError:
+            raise BudgetSyntaxError(
+                f"unknown budget unit {m.group('unit')!r} in {text!r}") from None
+    if nbytes <= 0:
+        raise BudgetSyntaxError(f"budget {text!r} resolves to {nbytes} bytes")
+    return nbytes
+
+
+def format_bytes(nbytes: int) -> str:
+    """Human-readable binary size used by plan tables and findings."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    return f"{int(nbytes)} B"  # pragma: no cover - unreachable

@@ -1,0 +1,551 @@
+"""Budget-constrained memory planner.
+
+Given a (possibly TeMCO-optimized) graph and a byte budget for internal
+tensors, :func:`plan_memory` produces a :class:`MemoryPlan`: a per-node
+schedule of actions the executor enforces at node boundaries.
+
+Three actions exist, generalizing the paper's core trade (compute
+overhead vs. resident bytes) past compile-time graph rewriting:
+
+- **keep** — leave a long-lived tensor resident (the default; recorded
+  explicitly for the tensors that still make up the planned peak);
+- **spill** — park a cold tensor in a host-side
+  :class:`~repro.plan.store.SpillStore` after its last touch before a
+  liveness gap, and prefetch it back (double-buffered, one node of
+  lead) ahead of the next consumer;
+- **remat** — drop the tensor and re-execute its recorded producing
+  subgraph right before the next consumer, exactly the restore-chain
+  recomputation of the paper's skip-connection optimization, but chosen
+  dynamically by cost.
+
+The planner greedily relieves the *predicted* peak: simulate the
+executor's allocation schedule byte-for-byte, find the peak node, rank
+the tensors idle across that node by cost-per-byte-relieved (transfer
+seconds at the configured bandwidth vs. recompute seconds at the
+configured FLOP rate), apply the cheapest, and repeat until the budget
+holds.  When no candidate relieves a still-over-budget peak the typed
+:class:`InfeasibleBudget` reports the residual bytes.
+
+The simulation is the contract: it replicates the executor's event
+order exactly (input binding, prefetch charges, remat transients,
+output allocation, refcount frees, spills/drops), so the planned peak
+and the measured ledger peak of an enforced run agree bit-for-bit —
+`repro memcheck --budget` cross-checks exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..core.liveness import LiveInterval, analyze_liveness
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir.ops import node_flops
+from ..ir.value import Value
+from .budget import format_bytes
+
+__all__ = ["PlanCostModel", "KeepAction", "SpillAction", "RematAction",
+           "PlanAction", "MemoryPlan", "InfeasibleBudget", "plan_memory",
+           "simulate_plan"]
+
+
+@dataclass(frozen=True)
+class PlanCostModel:
+    """Knobs of the spill-vs-remat decision.
+
+    Defaults model a PCIe-class host link (~12 GB/s effective) against
+    a ~2 TFLOP/s compute budget; both are configurable per plan because
+    the right answer flips with the hardware ratio.
+    """
+
+    #: host-link bandwidth used for spill + prefetch transfers
+    spill_bandwidth_bytes_per_s: float = 12e9
+    #: sustained rate assumed for rematerialization compute
+    recompute_flops_per_s: float = 2e12
+    #: nodes of lead between issuing a prefetch and needing the tensor
+    #: (1 = the transfer overlaps the preceding node's compute)
+    prefetch_lead: int = 1
+    #: longest producing subgraph a remat action may re-execute
+    max_chain_len: int = 8
+
+    def spill_seconds(self, nbytes: int) -> float:
+        return 2.0 * nbytes / self.spill_bandwidth_bytes_per_s
+
+    def remat_seconds(self, flops: int) -> float:
+        return flops / self.recompute_flops_per_s
+
+    def to_dict(self) -> dict:
+        return {
+            "spill_bandwidth_bytes_per_s": self.spill_bandwidth_bytes_per_s,
+            "recompute_flops_per_s": self.recompute_flops_per_s,
+            "prefetch_lead": self.prefetch_lead,
+            "max_chain_len": self.max_chain_len,
+        }
+
+
+@dataclass(frozen=True)
+class KeepAction:
+    """A tensor deliberately left resident at the planned peak."""
+
+    value: Value
+    kind: str = field(default="keep", init=False)
+
+    @property
+    def nbytes(self) -> int:
+        return self.value.nbytes
+
+    def cost_seconds(self, cm: PlanCostModel) -> float:
+        return 0.0
+
+    def to_dict(self) -> dict:
+        return {"kind": "keep", "value": self.value.name,
+                "nbytes": self.nbytes}
+
+
+@dataclass(frozen=True)
+class SpillAction:
+    """Park ``value`` host-side across a liveness gap.
+
+    The executor writes the tensor to the spill store after node
+    ``spill_after`` (``-1`` = right after input binding), re-charges its
+    bytes and issues the asynchronous fetch before node
+    ``prefetch_issue``, and binds the fetched array before node
+    ``next_use`` (``next_use == num_nodes`` means the tensor is a graph
+    output restored at the end of the run).
+    """
+
+    value: Value
+    spill_after: int
+    prefetch_issue: int
+    next_use: int
+    kind: str = field(default="spill", init=False)
+
+    @property
+    def nbytes(self) -> int:
+        return self.value.nbytes
+
+    def cost_seconds(self, cm: PlanCostModel) -> float:
+        return cm.spill_seconds(self.nbytes)
+
+    def to_dict(self) -> dict:
+        return {"kind": "spill", "value": self.value.name,
+                "nbytes": self.nbytes, "spill_after": self.spill_after,
+                "prefetch_issue": self.prefetch_issue,
+                "next_use": self.next_use}
+
+
+@dataclass(frozen=True)
+class RematAction:
+    """Drop ``value`` and recompute it from resident tensors.
+
+    ``chain`` is the recorded producing subgraph, in schedule order;
+    the executor re-runs it before node ``remat_before``, charging each
+    intermediate transiently and re-allocating only ``value``.
+    """
+
+    value: Value
+    drop_after: int
+    remat_before: int
+    chain: tuple[Node, ...]
+    recompute_flops: int
+    #: sum of chain-output bytes — the transient high-water extra while
+    #: the chain replays
+    transient_bytes: int
+    kind: str = field(default="remat", init=False)
+
+    @property
+    def nbytes(self) -> int:
+        return self.value.nbytes
+
+    def cost_seconds(self, cm: PlanCostModel) -> float:
+        return cm.remat_seconds(self.recompute_flops)
+
+    def to_dict(self) -> dict:
+        return {"kind": "remat", "value": self.value.name,
+                "nbytes": self.nbytes, "drop_after": self.drop_after,
+                "remat_before": self.remat_before,
+                "chain": [n.name for n in self.chain],
+                "recompute_flops": self.recompute_flops,
+                "transient_bytes": self.transient_bytes}
+
+
+PlanAction = Union[KeepAction, SpillAction, RematAction]
+
+
+class InfeasibleBudget(RuntimeError):
+    """No plan fits: reports how far the best plan still overshoots."""
+
+    def __init__(self, graph_name: str, budget_bytes: int,
+                 predicted_peak_bytes: int) -> None:
+        self.graph_name = graph_name
+        self.budget_bytes = budget_bytes
+        self.predicted_peak_bytes = predicted_peak_bytes
+        self.residual_bytes = predicted_peak_bytes - budget_bytes
+        super().__init__(
+            f"budget {format_bytes(budget_bytes)} is infeasible for "
+            f"{graph_name!r}: the best plan still peaks at "
+            f"{format_bytes(predicted_peak_bytes)} "
+            f"(residual {format_bytes(self.residual_bytes)})")
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """An executable per-node schedule of memory actions."""
+
+    graph_name: str
+    num_nodes: int
+    budget_bytes: int | None
+    #: predicted peak with no actions applied
+    baseline_peak_bytes: int
+    #: predicted peak of the enforced plan — what the ledger must measure
+    planned_peak_bytes: int
+    #: predicted live bytes sampled at each node (pre-free, matching
+    #: the executor's :class:`~repro.runtime.memory_profile.MemoryEvent`)
+    planned_live: tuple[int, ...]
+    actions: tuple[PlanAction, ...]
+    cost_model: PlanCostModel
+
+    @property
+    def spills(self) -> tuple[SpillAction, ...]:
+        return tuple(a for a in self.actions if isinstance(a, SpillAction))
+
+    @property
+    def remats(self) -> tuple[RematAction, ...]:
+        return tuple(a for a in self.actions if isinstance(a, RematAction))
+
+    @property
+    def keeps(self) -> tuple[KeepAction, ...]:
+        return tuple(a for a in self.actions if isinstance(a, KeepAction))
+
+    @property
+    def spilled_bytes(self) -> int:
+        return sum(a.nbytes for a in self.spills)
+
+    @property
+    def remat_flops(self) -> int:
+        return sum(a.recompute_flops for a in self.remats)
+
+    @property
+    def relief_bytes(self) -> int:
+        return self.baseline_peak_bytes - self.planned_peak_bytes
+
+    @property
+    def predicted_overhead_seconds(self) -> float:
+        return sum(a.cost_seconds(self.cost_model) for a in self.actions)
+
+    @property
+    def within_budget(self) -> bool:
+        return (self.budget_bytes is None
+                or self.planned_peak_bytes <= self.budget_bytes)
+
+    def to_dict(self) -> dict:
+        return {
+            "graph": self.graph_name,
+            "num_nodes": self.num_nodes,
+            "budget_bytes": self.budget_bytes,
+            "baseline_peak_bytes": self.baseline_peak_bytes,
+            "planned_peak_bytes": self.planned_peak_bytes,
+            "relief_bytes": self.relief_bytes,
+            "spilled_bytes": self.spilled_bytes,
+            "remat_flops": self.remat_flops,
+            "predicted_overhead_seconds": self.predicted_overhead_seconds,
+            "within_budget": self.within_budget,
+            "planned_live": list(self.planned_live),
+            "actions": [a.to_dict() for a in self.actions],
+            "cost_model": self.cost_model.to_dict(),
+        }
+
+    def summary(self) -> str:
+        parts = [f"{len(self.spills)} spill(s)", f"{len(self.remats)} remat(s)",
+                 f"peak {format_bytes(self.planned_peak_bytes)}"]
+        if self.budget_bytes is not None:
+            parts.append(f"budget {format_bytes(self.budget_bytes)}")
+        return ", ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# simulation: the byte-exact mirror of the enforced executor schedule
+# ---------------------------------------------------------------------------
+
+def simulate_plan(graph: Graph, actions: dict[str, PlanAction]
+                  ) -> tuple[list[int], int, int]:
+    """Replay the executor's allocation schedule under ``actions``.
+
+    Returns ``(planned_live, peak_bytes, peak_index)``: the per-node
+    pre-free live-byte samples, the peak over the whole run (including
+    input binding, prefetch charges and remat transients), and the node
+    index where the peak is first reached (-1 = during input binding).
+    """
+    spill_at: dict[int, list[SpillAction]] = {}
+    issue_at: dict[int, list[SpillAction]] = {}
+    bind_at: dict[int, list[SpillAction]] = {}
+    drop_at: dict[int, list[RematAction]] = {}
+    remat_at: dict[int, list[RematAction]] = {}
+    for a in actions.values():
+        if isinstance(a, SpillAction):
+            spill_at.setdefault(a.spill_after, []).append(a)
+            issue_at.setdefault(a.prefetch_issue, []).append(a)
+            bind_at.setdefault(a.next_use, []).append(a)
+        elif isinstance(a, RematAction):
+            drop_at.setdefault(a.drop_after, []).append(a)
+            remat_at.setdefault(a.remat_before, []).append(a)
+
+    refcount: dict[str, int] = {}
+    for node in graph.nodes:
+        for v in node.inputs:
+            refcount[v.name] = refcount.get(v.name, 0) + 1
+    for v in graph.outputs:
+        refcount[v.name] = refcount.get(v.name, 0) + 1
+
+    live = peak = 0
+    peak_index = -1
+    resident: set[str] = set()
+
+    def bump(index: int) -> None:
+        nonlocal peak, peak_index
+        if live > peak:
+            peak = live
+            peak_index = index
+
+    # input binding (ledger position -1)
+    for v in graph.inputs:
+        live += v.nbytes
+        resident.add(v.name)
+        bump(-1)
+        if refcount.get(v.name, 0) == 0:
+            live -= v.nbytes
+            resident.discard(v.name)
+    for a in spill_at.get(-1, ()):
+        live -= a.nbytes
+        resident.discard(a.value.name)
+
+    planned: list[int] = []
+    for index, node in enumerate(graph.nodes):
+        # --- node boundary, before the kernel -------------------------
+        for a in issue_at.get(index, ()):  # prefetch charge
+            live += a.nbytes
+            bump(index)
+        for a in bind_at.get(index, ()):   # array lands; bytes already charged
+            resident.add(a.value.name)
+        for a in remat_at.get(index, ()):  # chain replay: transient highs
+            transient = live
+            for cnode in a.chain:
+                transient += cnode.output.nbytes
+                if transient > peak:
+                    peak = transient
+                    peak_index = index
+            live += a.value.nbytes         # intermediates freed, target stays
+            resident.add(a.value.name)
+        # --- the node itself ------------------------------------------
+        live += node.output.nbytes
+        resident.add(node.output.name)
+        bump(index)
+        planned.append(live)               # pre-free sample == MemoryEvent
+        for v in node.inputs:
+            refcount[v.name] -= 1
+            if refcount[v.name] == 0 and v.name in resident:
+                live -= v.nbytes
+                resident.discard(v.name)
+        if refcount.get(node.output.name, 0) == 0 and node.output.name in resident:
+            live -= node.output.nbytes
+            resident.discard(node.output.name)
+        # --- node boundary, after the frees ---------------------------
+        for a in spill_at.get(index, ()):
+            live -= a.nbytes
+            resident.discard(a.value.name)
+        for a in drop_at.get(index, ()):
+            live -= a.nbytes
+            resident.discard(a.value.name)
+    return planned, peak, peak_index
+
+
+# ---------------------------------------------------------------------------
+# candidate discovery
+# ---------------------------------------------------------------------------
+
+def _resident_at(value: Value, index: int,
+                 intervals: dict[Value, LiveInterval],
+                 actions: dict[str, PlanAction]) -> bool:
+    """Is ``value`` bound in the executor env during node ``index``,
+    under the original liveness *and* the already-applied actions?"""
+    iv = intervals.get(value)
+    if iv is None or not iv.live_at(index):
+        return False
+    a = actions.get(value.name)
+    if isinstance(a, SpillAction):
+        return index <= a.spill_after or index >= a.next_use
+    if isinstance(a, RematAction):
+        # strict: the chain that restores it runs at remat_before, and
+        # chain ordering within one boundary is not guaranteed
+        return index <= a.drop_after or index > a.remat_before
+    return True
+
+
+def _collect_chain(graph: Graph, value: Value, at_index: int,
+                   intervals: dict[Value, LiveInterval],
+                   actions: dict[str, PlanAction],
+                   max_len: int) -> tuple[Node, ...] | None:
+    """The producing subgraph that recomputes ``value`` at ``at_index``
+    from tensors resident there, or None when no bounded chain exists."""
+    producer = graph.producer_of(value)
+    if producer is None:
+        return None
+    chain: list[Node] = []
+    seen = {value.name}
+    stack = [producer]
+    while stack:
+        node = stack.pop()
+        chain.append(node)
+        if len(chain) > max_len:
+            return None
+        for u in node.inputs:
+            if u.name in seen or _resident_at(u, at_index, intervals, actions):
+                continue
+            pred = graph.producer_of(u)
+            if pred is None:
+                return None  # needs a graph input that is gone
+            seen.add(u.name)
+            stack.append(pred)
+    index_of = {node.name: i for i, node in enumerate(graph.nodes)}
+    chain.sort(key=lambda n: index_of[n.name])
+    return tuple(chain)
+
+
+def _revalidate_chains(graph: Graph, intervals: dict[Value, LiveInterval],
+                       actions: dict[str, PlanAction],
+                       cm: PlanCostModel) -> bool:
+    """Re-collect every remat chain under the current action set.
+
+    A chain is valid only while its frontier inputs stay resident at the
+    restore point; planning a later spill or remat for one of them
+    evicts it and silently invalidates the chain.  After every planner
+    step the chains are therefore recomputed — extended through the
+    evicted tensor's own producer when a bounded chain still exists, or
+    reported impossible (``False``) so the step can be reverted.
+    """
+    for name, a in list(actions.items()):
+        if not isinstance(a, RematAction):
+            continue
+        chain = _collect_chain(graph, a.value, a.remat_before, intervals,
+                               actions, cm.max_chain_len)
+        if chain is None:
+            return False
+        if chain != a.chain:
+            actions[name] = RematAction(
+                value=a.value, drop_after=a.drop_after,
+                remat_before=a.remat_before, chain=chain,
+                recompute_flops=sum(node_flops(n) for n in chain),
+                transient_bytes=sum(n.output.nbytes for n in chain))
+    return True
+
+
+def _candidates(graph: Graph, intervals: dict[Value, LiveInterval],
+                uses_by_name: dict[str, list[int]],
+                actions: dict[str, PlanAction], peak_index: int,
+                cm: PlanCostModel,
+                rejected: set[tuple[str, str]]) -> list[PlanAction]:
+    """Actions that could relieve the peak at ``peak_index``: tensors
+    live across that node but neither defined nor consumed by it."""
+    if peak_index < 0:
+        return []  # the peak is input binding itself — irreducible
+    num_nodes = len(graph.nodes)
+    peak_node = graph.nodes[peak_index]
+    used_here = {v.name for v in peak_node.inputs}
+    out: list[PlanAction] = []
+    for v, iv in intervals.items():
+        name = v.name
+        if (name in actions or not iv.live_at(peak_index)
+                or iv.begin == peak_index or name in used_here):
+            continue
+        uses = uses_by_name.get(name, [])
+        touches = [iv.begin] + uses
+        prev = max(t for t in touches if t < peak_index)
+        later = [u for u in uses if u > peak_index]
+        nxt = later[0] if later else num_nodes  # num_nodes = restore at end
+        if (name, "spill") not in rejected:
+            issue = max(prev + 1, nxt - cm.prefetch_lead)
+            if issue > peak_index:
+                out.append(SpillAction(value=v, spill_after=prev,
+                                       prefetch_issue=issue, next_use=nxt))
+        if (name, "remat") not in rejected and iv.begin >= 0 and nxt < num_nodes:
+            chain = _collect_chain(graph, v, nxt, intervals, actions,
+                                   cm.max_chain_len)
+            if chain is not None:
+                out.append(RematAction(
+                    value=v, drop_after=prev, remat_before=nxt, chain=chain,
+                    recompute_flops=sum(node_flops(n) for n in chain),
+                    transient_bytes=sum(n.output.nbytes for n in chain)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the greedy planner
+# ---------------------------------------------------------------------------
+
+def plan_memory(graph: Graph, budget_bytes: int | None = None, *,
+                cost_model: PlanCostModel | None = None) -> MemoryPlan:
+    """Plan ``graph`` to fit ``budget_bytes`` of internal-tensor memory.
+
+    ``budget_bytes=None`` plans nothing (all-keep) and just reports the
+    predicted peak — useful for the ``repro plan`` analysis view.
+    Raises :class:`InfeasibleBudget` when no action schedule fits.
+    """
+    graph.validate()
+    cm = cost_model or PlanCostModel()
+    if budget_bytes is not None and budget_bytes <= 0:
+        raise ValueError(f"budget must be positive, got {budget_bytes}")
+    intervals = analyze_liveness(graph)
+    uses_by_name: dict[str, list[int]] = {}
+    for index, node in enumerate(graph.nodes):
+        for v in node.inputs:
+            uses_by_name.setdefault(v.name, []).append(index)
+
+    _, baseline_peak, _ = simulate_plan(graph, {})
+    actions: dict[str, PlanAction] = {}
+    rejected: set[tuple[str, str]] = set()
+
+    def score(a: PlanAction) -> tuple:
+        # cost per byte relieved; spills win ties (no numeric risk)
+        return (a.cost_seconds(cm) / max(a.nbytes, 1),
+                0 if isinstance(a, SpillAction) else 1, a.value.name)
+
+    while True:
+        planned, peak, peak_index = simulate_plan(graph, actions)
+        if budget_bytes is None or peak <= budget_bytes:
+            break
+        cands = _candidates(graph, intervals, uses_by_name, actions,
+                            peak_index, cm, rejected)
+        if not cands:
+            raise InfeasibleBudget(graph.name, budget_bytes, peak)
+        best = min(cands, key=score)
+        actions[best.value.name] = best
+        if _revalidate_chains(graph, intervals, actions, cm):
+            _, new_peak, new_index = simulate_plan(graph, actions)
+            # no local relief (e.g. the remat transient re-creates the
+            # peak); a same-height peak at a *different* index is kept —
+            # that plateau is relieved on the next iteration
+            revert = new_peak > peak or (new_peak == peak
+                                         and new_index == peak_index)
+        else:
+            revert = True  # the step broke an existing restore chain
+        if revert:
+            del actions[best.value.name]
+            _revalidate_chains(graph, intervals, actions, cm)
+            rejected.add((best.value.name, best.kind))
+
+    # record the keeps: what still makes up the planned peak
+    for v, iv in intervals.items():
+        if v.name not in actions and iv.live_at(max(peak_index, 0)) \
+                and _resident_at(v, max(peak_index, 0), intervals, actions):
+            actions[v.name] = KeepAction(value=v)
+
+    ordered = sorted(
+        actions.values(),
+        key=lambda a: ({"spill": 0, "remat": 1, "keep": 2}[a.kind],
+                       -a.nbytes, a.value.name))
+    return MemoryPlan(
+        graph_name=graph.name, num_nodes=len(graph.nodes),
+        budget_bytes=budget_bytes, baseline_peak_bytes=baseline_peak,
+        planned_peak_bytes=peak, planned_live=tuple(planned),
+        actions=tuple(ordered), cost_model=cm)

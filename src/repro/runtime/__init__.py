@@ -5,8 +5,9 @@ from .arena import ArenaPlan, ArenaSlot, execute_in_arena, plan_arena
 from .engine import InferenceSession, TimingResult
 from .executor import ExecutionResult, NodeTiming, execute
 from .ledger import AllocationLedger, LedgerEvent, TensorLifetime
-from .memory_profile import MemoryEvent, MemoryProfile
+from .memory_profile import MemoryEvent, MemoryProfile, PlanStats
 from .parallel import ParallelRunner, shard_batch
+from .planned import PlanEnforcer
 from .report import (compare_markdown, metrics_markdown, op_breakdown,
                      profile_markdown, save_report, timeline_csv,
                      timing_markdown)
@@ -28,6 +29,8 @@ __all__ = [
     "TensorLifetime",
     "MemoryEvent",
     "MemoryProfile",
+    "PlanStats",
+    "PlanEnforcer",
     "ParallelRunner",
     "shard_batch",
     "timeline_csv",

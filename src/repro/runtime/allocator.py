@@ -77,6 +77,46 @@ class TensorAllocator:
                                 value=value.name, bytes=nbytes,
                                 live_bytes=self.current_bytes)
 
+    def spill(self, value: Value) -> None:
+        """Release ``value``'s bytes because it moved to the host-side
+        spill store — a free tagged ``spill`` in the ledger so the
+        auditor can tell planned evictions from lifetime-end frees."""
+        try:
+            nbytes = self._live.pop(value.name)
+        except KeyError as exc:
+            raise AllocationError(
+                f"value {value.name!r} spilled but not live") from exc
+        self.current_bytes -= nbytes
+        if self.ledger is not None:
+            self.ledger.record("spill", value.name, nbytes, self.current_bytes)
+        if self.tracer is not None:
+            self.tracer.instant("spill", category="allocator",
+                                value=value.name, bytes=nbytes,
+                                live_bytes=self.current_bytes)
+
+    def restore(self, value: Value, action: str) -> None:
+        """Re-charge a previously released tensor; ``action`` is the
+        ledger tag — ``"prefetch"`` (staged back from the spill store)
+        or ``"remat"`` (recomputed by a plan's restore chain)."""
+        if action not in ("prefetch", "remat"):
+            raise ValueError(f"unknown restore action {action!r}")
+        if value.name in self._live:
+            raise AllocationError(f"value {value.name!r} restored while live")
+        nbytes = value.nbytes
+        self._live[value.name] = nbytes
+        self.current_bytes += nbytes
+        self.total_allocated_bytes += nbytes
+        self.num_allocations += 1
+        if self.current_bytes > self.peak_bytes:
+            self.peak_bytes = self.current_bytes
+            self.peak_live_set = dict(self._live)
+        if self.ledger is not None:
+            self.ledger.record(action, value.name, nbytes, self.current_bytes)
+        if self.tracer is not None:
+            self.tracer.instant(action, category="allocator",
+                                value=value.name, bytes=nbytes,
+                                live_bytes=self.current_bytes)
+
     def charge_scratch(self, nbytes: int) -> None:
         """Transient workspace charge: bumps the peak if the current live
         set plus this scratch exceeds it, without staying resident."""

@@ -81,14 +81,24 @@ class InferenceSession:
         An :class:`repro.obs.Tracer` that every inference of this
         session records into; defaults to the ambient tracer (a no-op
         unless one is installed with :func:`repro.obs.use_tracer`).
+    memory_plan:
+        A :class:`~repro.plan.MemoryPlan` enforced on every inference
+        of this session: spills, prefetches and remats keep the
+        measured peak at the plan's predicted peak (see
+        :mod:`repro.runtime.planned`).
+    spill_store:
+        Backing :class:`~repro.plan.SpillStore` for the plan's spill
+        actions; per-run in-memory stores are created when omitted.
     """
 
     def __init__(self, graph: Graph, *, count_fused_scratch: bool = False,
-                 tracer=None) -> None:
+                 tracer=None, memory_plan=None, spill_store=None) -> None:
         graph.validate()
         self.graph = graph
         self.count_fused_scratch = count_fused_scratch
         self.tracer = tracer
+        self.memory_plan = memory_plan
+        self.spill_store = spill_store
         self.last_result: ExecutionResult | None = None
 
     @property
@@ -96,7 +106,8 @@ class InferenceSession:
         return [v.name for v in self.graph.inputs]
 
     def run(self, inputs: dict[str, np.ndarray] | np.ndarray, *,
-            record_timings: bool = False, tracer=None) -> ExecutionResult:
+            record_timings: bool = False, record_ledger: bool = False,
+            tracer=None) -> ExecutionResult:
         """Run one inference.  A bare array is bound to the sole input.
 
         ``tracer`` overrides the session tracer for this call only —
@@ -114,7 +125,10 @@ class InferenceSession:
         with tracer.span("inference", category="runtime",
                          graph=self.graph.name):
             result = execute(self.graph, inputs, record_timings=record_timings,
+                             record_ledger=record_ledger,
                              count_fused_scratch=self.count_fused_scratch,
+                             plan=self.memory_plan,
+                             spill_store=self.spill_store,
                              tracer=tracer)
         self.last_result = result
         logger.debug("inference on %s: %s", self.graph.name,

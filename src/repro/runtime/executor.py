@@ -72,6 +72,8 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
             inplace_activations: bool = False,
             check_leaks: bool = True,
             check_finite: bool = False,
+            plan=None,
+            spill_store=None,
             tracer=None) -> ExecutionResult:
     """Run ``graph`` on ``inputs`` (name -> array).
 
@@ -101,6 +103,16 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
         Debugging aid: raise ``FloatingPointError`` naming the first
         node that produces a non-finite value (NaN/inf), instead of
         letting it propagate silently to the output.
+    plan:
+        A :class:`~repro.plan.MemoryPlan` to enforce: spill, prefetch
+        and remat actions run at node boundaries via
+        :class:`~repro.runtime.planned.PlanEnforcer`, keeping the
+        measured peak at the plan's predicted peak while outputs stay
+        bitwise-identical.  Incompatible with ``inplace_activations``
+        (the plan was simulated against the default accounting).
+    spill_store:
+        The :class:`~repro.plan.SpillStore` backing the plan's spill
+        actions; a fresh in-memory store is created when omitted.
     tracer:
         An :class:`repro.obs.Tracer` to record per-node spans, the
         ``memory`` counter track, and allocator alloc/free events into.
@@ -119,6 +131,18 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
     if record_ledger:
         ledger = allocator.ledger = AllocationLedger()
         ledger.position(-1, "")  # graph-input binding phase
+    enforcer = None
+    if plan is not None:
+        if inplace_activations:
+            raise ValueError(
+                "a memory plan cannot be enforced with inplace_activations: "
+                "the plan's peak was simulated against the default accounting")
+        if plan.num_nodes != len(graph.nodes):
+            raise ValueError(
+                f"plan for {plan.graph_name!r} covers {plan.num_nodes} nodes "
+                f"but graph {graph.name!r} has {len(graph.nodes)}")
+        from .planned import PlanEnforcer
+        enforcer = PlanEnforcer(plan, allocator, env, spill_store, tracer)
     profile = MemoryProfile(weight_bytes=graph.weight_bytes(), ledger=ledger)
     timings: list[NodeTiming] = []
 
@@ -148,11 +172,15 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
             # unused input: free immediately (still counted as allocated once)
             allocator.free(v)
             del env[v.name]
+    if enforcer is not None:
+        enforcer.after_inputs()
 
     output_names = {v.name for v in graph.outputs}
     for index, node in enumerate(graph.nodes):
         if ledger is not None:
             ledger.position(index, node.name)
+        if enforcer is not None:
+            enforcer.before_node(index)
         in_arrays = [env[v.name] for v in node.inputs]
         start = time.perf_counter() if record_timings else 0.0
         span_start = tracer.now_us() if tracing else 0.0
@@ -214,6 +242,10 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
                             scratch=scratch)
             tracer.counter("memory", live_bytes=allocator.current_bytes,
                            scratch_bytes=scratch)
+            if enforcer is not None:
+                tracer.counter("plan",
+                               planned_bytes=plan.planned_live[index],
+                               live_bytes=allocator.current_bytes)
 
         # free inputs whose last use just ran
         for v in node.inputs:
@@ -226,7 +258,11 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
         if refcount.get(node.output.name, 0) == 0:
             allocator.free(node.output)
             del env[node.output.name]
+        if enforcer is not None:
+            enforcer.after_node(index)
 
+    if enforcer is not None:
+        enforcer.finish()
     outputs = {v.name: env[v.name] for v in graph.outputs}
     if check_leaks:
         allocator.assert_empty(keep={v.name for v in graph.outputs})
@@ -235,6 +271,14 @@ def execute(graph: Graph, inputs: dict[str, np.ndarray], *,
     profile.peak_live_set = allocator.peak_live_set
     profile.total_allocated_bytes = allocator.total_allocated_bytes
     profile.num_allocations = allocator.num_allocations
+    if enforcer is not None:
+        profile.plan_stats = enforcer.stats
+        if tracing:
+            tracer.metrics.inc("plan.spilled_bytes",
+                               enforcer.stats.spilled_bytes)
+            tracer.metrics.inc("plan.remat", enforcer.stats.remats)
+            tracer.metrics.gauge("plan.planned_peak_bytes",
+                                 plan.planned_peak_bytes)
     if tracing:
         tracer.metrics.inc("executor.runs")
         tracer.metrics.inc("executor.nodes_executed", len(graph.nodes))

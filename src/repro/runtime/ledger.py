@@ -29,8 +29,15 @@ from typing import Callable
 
 __all__ = ["LedgerEvent", "TensorLifetime", "AllocationLedger"]
 
-#: event kinds a ledger records
-ACTIONS = ("alloc", "free", "scratch")
+#: event kinds a ledger records.  ``spill`` is a planned eviction to
+#: the host-side store (free-like); ``prefetch`` and ``remat`` are the
+#: two ways a memory plan brings a tensor back (alloc-like) — staged
+#: from the store or recomputed by a restore chain.
+ACTIONS = ("alloc", "free", "scratch", "spill", "prefetch", "remat")
+
+#: actions that add resident bytes / remove resident bytes on replay
+ALLOC_LIKE = frozenset(("alloc", "prefetch", "remat"))
+FREE_LIKE = frozenset(("free", "spill"))
 
 
 @dataclass(frozen=True)
@@ -43,7 +50,7 @@ class LedgerEvent:
     """
 
     seq: int
-    action: str  # "alloc" | "free" | "scratch"
+    action: str  # one of ACTIONS
     value: str
     nbytes: int
     #: schedule index active when the event fired (-1 while binding
@@ -119,10 +126,10 @@ class AllocationLedger:
         live = 0
         series: list[int] = []
         for event in self.events:
-            if event.action == "alloc":
+            if event.action in ALLOC_LIKE:
                 live += event.nbytes
                 series.append(live)
-            elif event.action == "free":
+            elif event.action in FREE_LIKE:
                 live -= event.nbytes
                 series.append(live)
             else:  # scratch: transient, does not stay resident
@@ -139,10 +146,10 @@ class AllocationLedger:
         """Peak of resident (non-scratch) bytes over the replay."""
         live = peak = 0
         for event in self.events:
-            if event.action == "alloc":
+            if event.action in ALLOC_LIKE:
                 live += event.nbytes
                 peak = max(peak, live)
-            elif event.action == "free":
+            elif event.action in FREE_LIKE:
                 live -= event.nbytes
         return peak
 
@@ -150,9 +157,9 @@ class AllocationLedger:
         """Tensors never freed (name -> bytes): the graph outputs."""
         live: dict[str, int] = {}
         for event in self.events:
-            if event.action == "alloc":
+            if event.action in ALLOC_LIKE:
                 live[event.value] = event.nbytes
-            elif event.action == "free":
+            elif event.action in FREE_LIKE:
                 live.pop(event.value, None)
         return live
 
@@ -170,7 +177,9 @@ class AllocationLedger:
         out: list[TensorLifetime] = []
         order: dict[str, int] = {}
         for event in self.events:
-            if event.action == "alloc":
+            if event.action in ALLOC_LIKE:
+                # a re-residency (prefetch / remat / re-alloc) opens a
+                # fresh lifetime segment for the same tensor name
                 open_events[event.value] = event
                 order[event.value] = len(out)
                 out.append(TensorLifetime(
@@ -178,7 +187,7 @@ class AllocationLedger:
                     owner=event.node_name, alloc_index=event.node_index,
                     free_index=None, alloc_ts_us=event.ts_us,
                     free_ts_us=None, offset=offsets.get(event.value)))
-            elif event.action == "free" and event.value in open_events:
+            elif event.action in FREE_LIKE and event.value in open_events:
                 slot = order[event.value]
                 out[slot] = replace(out[slot], free_index=event.node_index,
                                     free_ts_us=event.ts_us)
@@ -211,23 +220,25 @@ class AllocationLedger:
                 problems.append(
                     f"event {event.seq}: non-positive size {event.nbytes} "
                     f"for {event.value!r}")
-            if event.action == "alloc":
+            if event.action in ALLOC_LIKE:
                 if event.value in live:
                     problems.append(
-                        f"event {event.seq}: double alloc of {event.value!r}")
+                        f"event {event.seq}: double {event.action} of "
+                        f"{event.value!r}")
                 live[event.value] = event.nbytes
                 total += event.nbytes
                 peak = max(peak, total)
                 claimed = total
-            elif event.action == "free":
+            elif event.action in FREE_LIKE:
                 if event.value not in live:
                     problems.append(
-                        f"event {event.seq}: free of non-live {event.value!r}")
+                        f"event {event.seq}: {event.action} of non-live "
+                        f"{event.value!r}")
                 else:
                     if live[event.value] != event.nbytes:
                         problems.append(
-                            f"event {event.seq}: {event.value!r} freed with "
-                            f"{event.nbytes} B but allocated with "
+                            f"event {event.seq}: {event.value!r} released "
+                            f"with {event.nbytes} B but allocated with "
                             f"{live[event.value]} B")
                     del live[event.value]
                 total -= event.nbytes
@@ -260,5 +271,8 @@ class AllocationLedger:
         mib = 1024 * 1024
         allocs = sum(1 for e in self.events if e.action == "alloc")
         frees = sum(1 for e in self.events if e.action == "free")
-        return (f"{len(self.events)} events ({allocs} allocs, {frees} frees), "
-                f"peak {self.peak_bytes / mib:.2f} MiB")
+        planned = sum(1 for e in self.events
+                      if e.action in ("spill", "prefetch", "remat"))
+        extra = f", {planned} plan events" if planned else ""
+        return (f"{len(self.events)} events ({allocs} allocs, {frees} frees"
+                f"{extra}), peak {self.peak_bytes / mib:.2f} MiB")

@@ -11,7 +11,44 @@ from dataclasses import dataclass, field
 
 from .ledger import AllocationLedger
 
-__all__ = ["MemoryEvent", "MemoryProfile"]
+__all__ = ["MemoryEvent", "MemoryProfile", "PlanStats"]
+
+
+@dataclass
+class PlanStats:
+    """What a memory plan actually did during one enforced inference.
+
+    Filled in by :class:`~repro.runtime.planned.PlanEnforcer`; the
+    serving layer folds these into its metrics registry so the numbers
+    surface as ``repro_plan_*`` series on ``/metrics``.
+    """
+
+    budget_bytes: int | None = None
+    planned_peak_bytes: int = 0
+    spills: int = 0
+    spilled_bytes: int = 0
+    prefetches: int = 0
+    prefetched_bytes: int = 0
+    remats: int = 0
+    remat_flops: int = 0
+    #: spill writes that failed and fell back to keep-resident
+    spill_failures: int = 0
+    #: async prefetches that needed the synchronous retry
+    fetch_retries: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "budget_bytes": self.budget_bytes,
+            "planned_peak_bytes": self.planned_peak_bytes,
+            "spills": self.spills,
+            "spilled_bytes": self.spilled_bytes,
+            "prefetches": self.prefetches,
+            "prefetched_bytes": self.prefetched_bytes,
+            "remats": self.remats,
+            "remat_flops": self.remat_flops,
+            "spill_failures": self.spill_failures,
+            "fetch_retries": self.fetch_retries,
+        }
 
 
 @dataclass(frozen=True)
@@ -51,6 +88,9 @@ class MemoryProfile:
     #: full alloc/free event log, recorded when the executor ran with
     #: ``record_ledger=True`` (see :mod:`repro.runtime.ledger`)
     ledger: AllocationLedger | None = None
+    #: spill/prefetch/remat accounting of the enforced memory plan, when
+    #: the executor ran with ``plan=`` (see :mod:`repro.runtime.planned`)
+    plan_stats: PlanStats | None = None
 
     @property
     def peak_total_bytes(self) -> int:

@@ -1,0 +1,207 @@
+"""Runtime enforcement of a :class:`~repro.plan.MemoryPlan`.
+
+The executor stays the single execution loop; this module supplies the
+:class:`PlanEnforcer` it drives at node boundaries:
+
+- ``after_inputs()``  — spills scheduled right after input binding;
+- ``before_node(i)``  — prefetch charges issued for node ``i``, arrays
+  bound for consumers at ``i``, remat chains replayed for ``i``;
+- ``after_node(i)``   — spill writes and remat drops scheduled after
+  node ``i``'s frees;
+- ``finish()``        — restore graph outputs spilled past their last
+  use, then stop the prefetch worker.
+
+Every byte movement goes through the
+:class:`~repro.runtime.allocator.TensorAllocator` using the tagged
+``spill`` / ``prefetch`` / ``remat`` ledger actions, so an enforced
+run's ledger replays to exactly the plan's predicted peak — the
+invariant `repro memcheck --budget` checks.
+
+Failure semantics: a failed spill write falls back to keep-resident
+(the request stays correct, the budget becomes best-effort); a failed
+async prefetch is retried once synchronously and only then surfaces a
+:class:`~repro.plan.store.SpillStoreError`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from .. import kernels
+from ..plan.planner import MemoryPlan, RematAction, SpillAction
+from ..plan.store import PrefetchWorker, SpillStore, SpillStoreError
+from .allocator import TensorAllocator
+from .memory_profile import PlanStats
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["PlanEnforcer"]
+
+
+class PlanEnforcer:
+    """Applies one plan's actions to one running inference."""
+
+    def __init__(self, plan: MemoryPlan, allocator: TensorAllocator,
+                 env: dict[str, np.ndarray], store: SpillStore | None,
+                 tracer) -> None:
+        self.plan = plan
+        self.allocator = allocator
+        self.env = env
+        self.tracer = tracer
+        self.stats = PlanStats(budget_bytes=plan.budget_bytes,
+                               planned_peak_bytes=plan.planned_peak_bytes)
+        self._spill_at: dict[int, list[SpillAction]] = {}
+        self._issue_at: dict[int, list[SpillAction]] = {}
+        self._bind_at: dict[int, list[SpillAction]] = {}
+        self._drop_at: dict[int, list[RematAction]] = {}
+        self._remat_at: dict[int, list[RematAction]] = {}
+        for a in plan.actions:
+            if isinstance(a, SpillAction):
+                self._spill_at.setdefault(a.spill_after, []).append(a)
+                self._issue_at.setdefault(a.prefetch_issue, []).append(a)
+                self._bind_at.setdefault(a.next_use, []).append(a)
+            elif isinstance(a, RematAction):
+                self._drop_at.setdefault(a.drop_after, []).append(a)
+                self._remat_at.setdefault(a.remat_before, []).append(a)
+        needs_store = bool(self._spill_at)
+        self.store = store if store is not None else (
+            SpillStore() if needs_store else None)
+        self._worker = PrefetchWorker(self.store) if needs_store else None
+        #: values whose spill write failed — kept resident instead
+        self._failed: set[str] = set()
+
+    # -- boundary hooks (called by the executor) ------------------------
+
+    def after_inputs(self) -> None:
+        self.after_node(-1)
+
+    def before_node(self, index: int) -> None:
+        for a in self._issue_at.get(index, ()):
+            self._issue(a)
+        for a in self._bind_at.get(index, ()):
+            self._bind(a)
+        for a in self._remat_at.get(index, ()):
+            self._remat(a)
+
+    def after_node(self, index: int) -> None:
+        for a in self._spill_at.get(index, ()):
+            self._spill(a)
+        for a in self._drop_at.get(index, ()):
+            self._drop(a)
+
+    def finish(self) -> None:
+        """Bind spilled graph outputs (sentinel ``next_use ==
+        num_nodes``), then release the worker."""
+        try:
+            for a in self._bind_at.get(self.plan.num_nodes, ()):
+                self._bind(a)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self._worker is not None:
+            self._worker.close()
+        if self.store is not None:
+            self.store.clear()
+
+    # -- the actions -----------------------------------------------------
+
+    def _spill(self, a: SpillAction) -> None:
+        name = a.value.name
+        array = self.env[name]
+        start = self.tracer.now_us()
+        try:
+            self.store.put(name, array)
+        except SpillStoreError as exc:
+            # graceful fallback: keep the tensor resident; the matching
+            # prefetch is skipped and the request stays correct
+            self._failed.add(name)
+            self.stats.spill_failures += 1
+            logger.warning("spill of %s failed, keeping resident: %s",
+                           name, exc)
+            self.tracer.instant("plan.spill_failed", category="plan",
+                                value=name, bytes=a.nbytes, error=str(exc))
+            self.tracer.metrics.inc("plan.spill_failures")
+            return
+        self.tracer.complete("plan.spill", start,
+                             self.tracer.now_us() - start, category="plan",
+                             value=name, bytes=a.nbytes,
+                             spill_after=a.spill_after, next_use=a.next_use)
+        self.allocator.spill(a.value)
+        del self.env[name]
+        self.stats.spills += 1
+        self.stats.spilled_bytes += a.nbytes
+
+    def _issue(self, a: SpillAction) -> None:
+        name = a.value.name
+        if name in self._failed:
+            return  # never left residence
+        # the bytes are charged when the transfer starts, not when it
+        # lands — the conservative double-buffer accounting the planner
+        # simulates
+        self.allocator.restore(a.value, "prefetch")
+        self._worker.issue(name)
+
+    def _bind(self, a: SpillAction) -> None:
+        name = a.value.name
+        if name in self._failed:
+            return
+        start = self.tracer.now_us()
+        try:
+            array = self._worker.wait(name)
+        except SpillStoreError:
+            # one synchronous retry covers transient I/O; a second
+            # failure means the data is gone and must surface
+            self.stats.fetch_retries += 1
+            self.tracer.metrics.inc("plan.fetch_retries")
+            try:
+                array = self.store.fetch(name)
+            except SpillStoreError:
+                self.close()
+                raise
+        # the span duration is the prefetch *stall*: zero when the
+        # transfer fully overlapped the preceding node's compute
+        self.tracer.complete("plan.prefetch", start,
+                             self.tracer.now_us() - start, category="plan",
+                             value=name, bytes=a.nbytes,
+                             issued_at=a.prefetch_issue)
+        self.env[name] = array
+        self.store.discard(name)
+        self.stats.prefetches += 1
+        self.stats.prefetched_bytes += a.nbytes
+
+    def _remat(self, a: RematAction) -> None:
+        start = self.tracer.now_us()
+        target = a.value.name
+        for cnode in a.chain:
+            in_arrays = [self.env[v.name] for v in cnode.inputs]
+            out_array = kernels.run_node(cnode, in_arrays)
+            if cnode.output.name == target:
+                self.allocator.restore(a.value, "remat")
+            else:
+                self.allocator.alloc(cnode.output)
+            self.env[cnode.output.name] = out_array
+        for cnode in a.chain:
+            if cnode.output.name != target:
+                self.allocator.free(cnode.output)
+                del self.env[cnode.output.name]
+        self.tracer.complete("plan.remat", start,
+                             self.tracer.now_us() - start, category="plan",
+                             value=target, bytes=a.nbytes,
+                             chain=[n.name for n in a.chain],
+                             flops=a.recompute_flops)
+        self.stats.remats += 1
+        self.stats.remat_flops += a.recompute_flops
+
+    def _drop(self, a: RematAction) -> None:
+        # dropping ahead of a remat is an ordinary free: the bytes are
+        # simply returned, nothing moves anywhere
+        self.allocator.free(a.value)
+        del self.env[a.value.name]
+
+    # -- reporting -------------------------------------------------------
+
+    def planned_live_at(self, index: int) -> int:
+        return self.plan.planned_live[index]

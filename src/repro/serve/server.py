@@ -173,13 +173,23 @@ class InferenceServer:
 
     def __init__(self, graph: Graph, config: ServerConfig | None = None, *,
                  metrics: MetricsRegistry | None = None,
-                 tracer=None, slo: SLOMonitor | None = None) -> None:
+                 tracer=None, slo: SLOMonitor | None = None,
+                 memory_plan=None) -> None:
         graph.validate()
         self.graph = graph
         self.config = config or ServerConfig()
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.slo = slo
+        #: optional :class:`~repro.plan.MemoryPlan` enforced on every
+        #: batch each worker session runs; each run opens its own
+        #: spill store, so workers never share spill state
+        self.memory_plan = memory_plan
+        if memory_plan is not None:
+            self.metrics.gauge("plan.budget_bytes",
+                               float(memory_plan.budget_bytes or 0))
+            self.metrics.gauge("plan.planned_peak_bytes",
+                               float(memory_plan.planned_peak_bytes))
         self.graph_batch = graph.inputs[0].shape[0]
         self.max_batch = self.config.max_batch or self.graph_batch
         self._lock = threading.Lock()
@@ -207,7 +217,8 @@ class InferenceServer:
         else:
             self._worker_tracers = [NOOP_TRACER] * self.config.num_workers
         self._sessions = [
-            InferenceSession(graph, tracer=self._worker_tracers[index])
+            InferenceSession(graph, tracer=self._worker_tracers[index],
+                             memory_plan=memory_plan)
             for index in range(self.config.num_workers)]
 
     # -- lifecycle -----------------------------------------------------
@@ -469,9 +480,11 @@ class InferenceServer:
                                 ts_us=fanin_us, trace_id=request.trace_id)
             run_tracer = tracer.tagged(trace_ids=trace_ids) if tracing else None
             for shard in shards:
-                outputs = session.run(shard.inputs, tracer=run_tracer).outputs
+                result = session.run(shard.inputs, tracer=run_tracer)
+                outputs = result.outputs
                 self.metrics.inc("serve.batches")
                 self.metrics.inc("serve.padded_samples", shard.padding)
+                self._record_plan_stats(result.memory.plan_stats)
                 now = time.monotonic()
                 for request in scatter(shard, outputs, buffers, filled,
                                        totals):
@@ -491,6 +504,22 @@ class InferenceServer:
                     if (request.deadline_at is not None
                             and now > request.deadline_at):
                         self.metrics.inc("serve.late_completions")
+
+    def _record_plan_stats(self, stats) -> None:
+        """Merge one budgeted run's spill/remat counters into the
+        server registry so ``GET /metrics`` exports them
+        (``repro_plan_spilled_bytes_total``, ``repro_plan_remat_total``,
+        …) alongside the serving metrics."""
+        if stats is None:
+            return
+        self.metrics.inc("plan.spills", stats.spills)
+        self.metrics.inc("plan.spilled_bytes", stats.spilled_bytes)
+        self.metrics.inc("plan.prefetched_bytes", stats.prefetched_bytes)
+        self.metrics.inc("plan.remat", stats.remats)
+        if stats.spill_failures:
+            self.metrics.inc("plan.spill_failures", stats.spill_failures)
+        if stats.fetch_retries:
+            self.metrics.inc("plan.fetch_retries", stats.fetch_retries)
 
     def _record_waterfall(self, tracer, request: _Request,
                           batch_start_us: float, latency: float) -> None:

@@ -13,13 +13,15 @@ from _graph_fixtures import random_input
 
 SMALL = {"alexnet": 32, "vgg11": 32, "vgg13": 32, "vgg16": 32, "vgg19": 32,
          "resnet18": 32, "resnet34": 32, "densenet": 32, "unet": 32,
-         "unet_small": 32}
+         "unet_small": 32, "wavenet2d": 32, "fractalnet": 32}
 
 
 class TestZooRegistry:
-    def test_ten_models_five_families(self):
-        assert len(MODEL_ZOO) == 10
-        assert len({spec.family for spec in MODEL_ZOO.values()}) == 5
+    def test_twelve_models_seven_families(self):
+        # the paper's 10 models of 5 families, plus the two long-skip
+        # stacks that exercise the budget planner
+        assert len(MODEL_ZOO) == 12
+        assert len({spec.family for spec in MODEL_ZOO.values()}) == 7
 
     def test_unknown_model_rejected(self):
         with pytest.raises(KeyError, match="unknown model"):

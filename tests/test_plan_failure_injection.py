@@ -1,0 +1,122 @@
+"""Failure injection for the spill store: a failed spill write must
+degrade to keep-resident (the request stays correct), a transient fetch
+failure must be retried, and lost data must surface as a typed error —
+never as silently wrong outputs."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_peak_internal
+from repro.models import build_wavenet2d
+from repro.plan import (PrefetchWorker, SpillStore, SpillStoreError,
+                        plan_memory)
+from repro.runtime.executor import execute
+
+
+@pytest.fixture(scope="module")
+def planned_wavenet():
+    graph = build_wavenet2d(batch=1, hw=16, channels=8, layers=6)
+    rng = np.random.default_rng(0)
+    inputs = {v.name: rng.standard_normal(v.shape).astype(np.float32)
+              for v in graph.inputs}
+    reference = execute(graph, inputs)
+    plan = plan_memory(graph, int(0.60 * estimate_peak_internal(graph)))
+    assert plan.spills  # the injection below must have something to break
+    return graph, inputs, reference, plan
+
+
+class _WriteFailStore(SpillStore):
+    """Every spill write fails; nothing ever reaches the store."""
+
+    def put(self, name, array):
+        raise SpillStoreError(f"injected write failure for {name!r}")
+
+
+class _FlakyFetchStore(SpillStore):
+    """The first fetch of each tensor fails (transient I/O); the
+    enforcer's synchronous retry then succeeds."""
+
+    def __init__(self):
+        super().__init__()
+        self.failed_once: set[str] = set()
+
+    def fetch(self, name):
+        if name not in self.failed_once:
+            self.failed_once.add(name)
+            raise SpillStoreError(f"injected transient fetch of {name!r}")
+        return super().fetch(name)
+
+
+class _DeadFetchStore(SpillStore):
+    """Writes land but every read fails: the data is gone."""
+
+    def fetch(self, name):
+        raise SpillStoreError(f"injected permanent fetch loss of {name!r}")
+
+
+class TestSpillWriteFailure:
+    def test_falls_back_to_keep_resident_and_stays_correct(
+            self, planned_wavenet):
+        graph, inputs, reference, plan = planned_wavenet
+        result = execute(graph, inputs, plan=plan,
+                         spill_store=_WriteFailStore())
+        for name, array in reference.outputs.items():
+            assert np.array_equal(result.outputs[name], array), name
+        stats = result.memory.plan_stats
+        assert stats.spill_failures == len(plan.spills)
+        assert stats.spills == 0 and stats.prefetches == 0
+        # nothing left residence, so the run measures the unplanned peak
+        assert result.memory.peak_internal_bytes == \
+            reference.memory.peak_internal_bytes
+
+
+class TestTransientFetchFailure:
+    def test_synchronous_retry_recovers(self, planned_wavenet):
+        graph, inputs, reference, plan = planned_wavenet
+        store = _FlakyFetchStore()
+        result = execute(graph, inputs, plan=plan, spill_store=store)
+        for name, array in reference.outputs.items():
+            assert np.array_equal(result.outputs[name], array), name
+        stats = result.memory.plan_stats
+        assert stats.fetch_retries == len(plan.spills)
+        assert stats.prefetches == len(plan.spills)
+        # retries do not change the enforced memory shape
+        assert result.memory.peak_internal_bytes == plan.planned_peak_bytes
+
+
+class TestPermanentFetchFailure:
+    def test_lost_data_surfaces_as_typed_error(self, planned_wavenet):
+        graph, inputs, _, plan = planned_wavenet
+        with pytest.raises(SpillStoreError):
+            execute(graph, inputs, plan=plan, spill_store=_DeadFetchStore())
+
+
+class TestSpillStoreContract:
+    def test_directory_store_round_trips_losslessly(self, tmp_path):
+        store = SpillStore(directory=tmp_path)
+        array = np.random.default_rng(1).standard_normal((3, 4)).astype(
+            np.float32)
+        assert store.put("conv/1.out", array) == array.nbytes
+        assert store.held_bytes == array.nbytes
+        fetched = store.fetch("conv/1.out")
+        assert np.array_equal(fetched, array)
+        store.discard("conv/1.out")
+        assert len(store) == 0 and store.held_bytes == 0
+        assert not any(tmp_path.iterdir())
+
+    def test_unwritable_directory_raises_typed_error(self, tmp_path):
+        blocker = tmp_path / "occupied"
+        blocker.write_text("not a directory")
+        store = SpillStore(directory=blocker)
+        with pytest.raises(SpillStoreError, match="write"):
+            store.put("t", np.zeros(4, np.float32))
+
+    def test_fetch_of_never_spilled_tensor_raises(self):
+        with pytest.raises(SpillStoreError, match="never spilled"):
+            SpillStore().fetch("ghost")
+
+    def test_wait_without_issue_raises(self):
+        worker = PrefetchWorker(SpillStore())
+        with pytest.raises(SpillStoreError, match="no prefetch issued"):
+            worker.wait("ghost")
+        worker.close()
