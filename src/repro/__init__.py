@@ -40,7 +40,7 @@ from .obs import (NoopTracer, Tracer, configure_logging, get_tracer,
 from .runtime import InferenceSession, MemoryProfile, ParallelRunner, execute
 from .tune import TuneCache, TuneConfig, cached_overrides, tune_model
 
-__version__ = "1.0.0"
+from ._version import __version__
 
 __all__ = [
     "__version__",

@@ -1,0 +1,11 @@
+"""Single source of truth for the package version.
+
+Lives in its own leaf module so low-level subsystems (notably the
+Prometheus exposition in :mod:`repro.obs.prometheus`, which stamps a
+``repro_build_info{version="..."}`` gauge onto every ``/metrics``
+scrape) can import it without pulling in the whole :mod:`repro`
+package — the top-level ``__init__`` imports the compiler, runtime and
+models, which would be a circular import from inside ``repro.obs``.
+"""
+
+__version__ = "1.0.0"

@@ -35,7 +35,11 @@ Document schema (version 1)::
 The optional ``budgeted`` sub-document (present when the config sets a
 ``budget``, e.g. ``repro bench --json --budget 60%``) reports the
 memory planner's enforced peak for that variant — informational only,
-``--compare`` never gates on it.
+``--compare`` never gates on it.  Likewise the optional top-level
+``fleet`` key (``repro bench --json --fleet``): a 1-vs-3-replica
+throughput comparison under one shared host budget via
+:mod:`repro.fleet` — informational, never gated (``compare_bench``
+reads only ``models``).
 """
 
 from __future__ import annotations
@@ -78,19 +82,25 @@ class BenchConfig:
     #: *informational* budgeted-peak measurement per variant — it is
     #: never gated by ``--compare``
     budget: str | None = None
+    #: measure an *informational* fleet-throughput comparison (1 vs 3
+    #: replicas under one shared host budget, driven through the
+    #: :mod:`repro.fleet` router) — like ``budget``, never gated
+    fleet: bool = False
 
     def to_dict(self) -> dict:
         return {"models": list(self.models), "batch": self.batch,
                 "hw": self.hw, "ratio": self.ratio, "method": self.method,
                 "seed": self.seed, "repeats": self.repeats,
-                "warmup": self.warmup, "budget": self.budget}
+                "warmup": self.warmup, "budget": self.budget,
+                "fleet": self.fleet}
 
     @classmethod
     def from_dict(cls, doc: dict) -> "BenchConfig":
         return cls(models=tuple(doc["models"]), batch=doc["batch"],
                    hw=doc["hw"], ratio=doc["ratio"], method=doc["method"],
                    seed=doc["seed"], repeats=doc["repeats"],
-                   warmup=doc["warmup"], budget=doc.get("budget"))
+                   warmup=doc["warmup"], budget=doc.get("budget"),
+                   fleet=doc.get("fleet", False))
 
 
 def _budgeted_entry(graph, inputs, budget_spec: str,
@@ -121,6 +131,55 @@ def _budgeted_entry(graph, inputs, budget_spec: str,
             "spills": stats.spills if stats else 0,
             "remats": stats.remats if stats else 0,
             "spilled_bytes": stats.spilled_bytes if stats else 0}
+
+
+def _fleet_entry(config: BenchConfig) -> dict:
+    """The informational fleet-throughput comparison: the suite's
+    first model served by 1 vs 3 replicas under the *same* shared host
+    budget (3x one replica's unplanned peak — exactly enough for three
+    planned replicas, so the comparison isolates what replication buys
+    in throughput for a fixed host allocation), driven closed-loop
+    through the fleet router.  Reported in the document's ``fleet``
+    key; ``--compare`` never reads it.
+    """
+    from ..core import estimate_peak_internal
+    from ..fleet import PoolConfig, ReplicaPool, Router
+    from ..models import build_model
+    from ..plan import InfeasibleBudget
+    from ..serve import LoadgenConfig, ServerConfig, run_loadgen
+
+    model = config.models[0]
+    graph = build_model(model, batch=config.batch, hw=config.hw,
+                        seed=config.seed)
+    host_bytes = int(estimate_peak_internal(graph) * 3)
+    load = LoadgenConfig(requests=24, concurrency=6, seed=config.seed)
+    entry: dict = {"model": model, "host_budget_bytes": host_bytes,
+                   "requests": load.requests,
+                   "concurrency": load.concurrency, "replicas": {}}
+    for replicas in (1, 3):
+        try:
+            pool = ReplicaPool(graph, PoolConfig(
+                replicas=replicas, host_budget=host_bytes,
+                server=ServerConfig(num_workers=1)))
+        except InfeasibleBudget as exc:
+            entry["replicas"][str(replicas)] = {
+                "feasible": False, "residual_bytes": exc.residual_bytes}
+            continue
+        with Router(pool) as router:
+            report = run_loadgen(router, load)
+        entry["replicas"][str(replicas)] = {
+            "feasible": True,
+            "replica_budget_bytes": int(pool.memory_plan.budget_bytes or 0)
+            if pool.memory_plan else 0,
+            "throughput_rps": report.throughput_rps,
+            "completed": report.completed,
+            "errors": report.errors,
+            "p50_ms": report.latency.p50 * 1e3}
+    one = entry["replicas"].get("1", {}).get("throughput_rps")
+    three = entry["replicas"].get("3", {}).get("throughput_rps")
+    if one and three:
+        entry["speedup"] = three / one
+    return entry
 
 
 def collect_bench(config: BenchConfig | None = None, *,
@@ -159,9 +218,14 @@ def collect_bench(config: BenchConfig | None = None, *,
             * 100.0 if original_peak else 0.0
         models[model] = {"best_variant": best, "reduction_pct": reduction,
                          "variants": variants}
-    return {"schema": SCHEMA_VERSION, "name": name,
-            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-            "config": config.to_dict(), "models": models}
+    doc = {"schema": SCHEMA_VERSION, "name": name,
+           "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+           "config": config.to_dict(), "models": models}
+    if config.fleet:
+        # informational only: compare_bench reads just the "models"
+        # key, so the fleet measurement can never fail the gate
+        doc["fleet"] = _fleet_entry(config)
+    return doc
 
 
 def write_bench(doc: dict, path: str | Path) -> Path:

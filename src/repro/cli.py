@@ -46,15 +46,29 @@ serve MODEL|FILE.npz
     compiled plan from the tuning cache; ``--trace PATH`` records
     request-lifecycle traces (admission spans, batch fan-in arrows,
     per-request waterfalls); ``--slo SPEC`` attaches burn-rate
-    monitored objectives.  See ``docs/serving.md``.
+    monitored objectives.  SIGTERM/SIGINT trigger a graceful drain:
+    ``/healthz`` flips to 503, in-flight requests finish, then the
+    process exits 0.  See ``docs/serving.md``.
+fleet MODEL|FILE.npz
+    Run a multi-replica fleet behind one HTTP frontend: ``--replicas
+    K`` servers share ``--host-budget`` (each planned to ``budget/K``
+    by the repro.plan planner), fronted by the least-outstanding
+    router with hedged retries and outlier ejection.  ``--fault
+    REPLICA:KIND:AFTER`` injects a deterministic kill/stall/slow for
+    failover demos.  SIGTERM/SIGINT drain the whole fleet gracefully.
+    See ``docs/fleet.md``.
 loadgen MODEL|FILE.npz
     Start an in-process server and drive it with an open- or
     closed-loop load generator; reports throughput and p50/p95/p99
-    latency (``--json`` for machine-readable output).  ``--slo SPEC``
-    (repeatable; ``availability:0.99`` or ``latency:50:0.95``)
-    evaluates objectives over the run and **exits non-zero on
-    violation** — the CI gate; ``--trace PATH`` captures the full
-    serving trace.
+    latency (``--json`` for machine-readable output).  ``--fleet K``
+    drives a K-replica fleet through the router instead of a single
+    server (with ``--host-budget`` / ``--fault`` as above — the CI
+    failover smoke kills a replica mid-run and asserts zero errors);
+    ``--metrics-out PATH`` dumps the end-of-run Prometheus exposition.
+    ``--slo SPEC`` (repeatable; ``availability:0.99`` or
+    ``latency:50:0.95``) evaluates objectives over the run and
+    **exits non-zero on violation** — the CI gate; ``--trace PATH``
+    captures the full serving trace.
 memcheck [MODEL ...]
     Memory conformance audit: run every requested zoo model (original
     *and* TeMCO-optimized) with the allocation ledger on and cross-check
@@ -86,6 +100,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import signal
 import sys
 import threading
 import time
@@ -101,6 +116,7 @@ from .bench import (DEFAULT_MODELS, PAPER_LABELS, BenchConfig, collect_bench,
 from .core import (TeMCOConfig, estimate_peak_floor, estimate_peak_internal,
                    optimize)
 from .decompose import DecompositionConfig, decompose_graph
+from .fleet import FaultPolicy, PoolConfig, ReplicaPool, Router
 from .ir import (Graph, format_graph, load_graph, save_dot, save_graph,
                  summarize_graph)
 from .models import EXTRA_MODELS, MODEL_ZOO, build_extra, build_model
@@ -436,36 +452,145 @@ def _serve_memory_plan(plan: Graph, args):
     return True, mplan
 
 
+def _trap_signals(stop: threading.Event) -> dict:
+    """Route SIGTERM/SIGINT to a graceful-drain event.  Only touches
+    handlers on the main thread (elsewhere — e.g. tests calling
+    ``main()`` from a worker — signals stay as they were)."""
+    if threading.current_thread() is not threading.main_thread():
+        return {}
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, lambda *_: stop.set())
+        except (ValueError, OSError):  # pragma: no cover — exotic platforms
+            pass
+    return previous
+
+
+def _restore_signals(previous: dict) -> None:
+    for sig, handler in previous.items():
+        signal.signal(sig, handler)
+
+
+def _wait_for_stop(stop: threading.Event, duration: float | None) -> None:
+    """Block until ``stop`` is set or ``duration`` elapses.  Waits in
+    short slices: Python-level signal handlers only run when the main
+    thread re-enters the interpreter, and a signal delivered on another
+    thread never interrupts one long C-level ``Event.wait``."""
+    deadline = None if duration is None else time.monotonic() + duration
+    while not stop.is_set():
+        remaining = (None if deadline is None
+                     else deadline - time.monotonic())
+        if remaining is not None and remaining <= 0:
+            return
+        if stop.wait(0.1 if remaining is None else min(0.1, remaining)):
+            return
+
+
 def _cmd_serve(args) -> int:
     plan = _serve_plan(args)
     ok, mplan = _serve_memory_plan(plan, args)
     if not ok:
         return 1
     slo = _slo_monitor(args)
-    with InferenceServer(plan, _server_config(args), slo=slo,
-                         memory_plan=mplan) as server:
-        with serve_http(server, host=args.host, port=args.port) as frontend:
-            host, port = frontend.address
-            print(f"serving {plan.name!r} on http://{host}:{port} "
-                  f"({args.workers} worker(s), graph batch "
-                  f"{server.graph_batch}, queue bound {args.max_queue})")
-            print("endpoints: POST /infer, GET /healthz, GET /stats, "
-                  "GET /metrics" + (", GET /slo" if slo else ""))
+    stop = threading.Event()
+    previous = _trap_signals(stop)
+    try:
+        with InferenceServer(plan, _server_config(args), slo=slo,
+                             memory_plan=mplan) as server:
+            with serve_http(server, host=args.host,
+                            port=args.port) as frontend:
+                host, port = frontend.address
+                print(f"serving {plan.name!r} on http://{host}:{port} "
+                      f"({args.workers} worker(s), graph batch "
+                      f"{server.graph_batch}, queue bound {args.max_queue})")
+                print("endpoints: POST /infer, GET /healthz, GET /stats, "
+                      "GET /metrics" + (", GET /slo" if slo else ""))
+                if slo:
+                    for objective in slo.objectives:
+                        print(f"slo: {objective.describe()}")
+                try:
+                    _wait_for_stop(stop, args.duration)
+                except KeyboardInterrupt:
+                    pass
+                # drain with the frontend still up: /healthz answers
+                # 503 while in-flight requests finish, so a balancer
+                # stops sending traffic before the socket goes away
+                print("draining: rejecting new requests, finishing "
+                      "in-flight work (healthz now 503)", file=sys.stderr)
+                if not server.drain(args.drain_timeout):
+                    print(f"drain timed out after {args.drain_timeout} s; "
+                          f"leftover requests rejected", file=sys.stderr)
+            print(metrics_markdown(server.metrics,
+                                   title=f"{plan.name} serving metrics"))
             if slo:
-                for objective in slo.objectives:
-                    print(f"slo: {objective.describe()}")
-            try:
-                if args.duration is not None:
-                    time.sleep(args.duration)
-                else:
-                    threading.Event().wait()
-            except KeyboardInterrupt:
-                print("\nshutting down")
-        print(metrics_markdown(server.metrics,
-                               title=f"{plan.name} serving metrics"))
-        if slo:
-            for status in slo.evaluate():
-                print(status.summary())
+                for status in slo.evaluate():
+                    print(status.summary())
+    finally:
+        _restore_signals(previous)
+    return 0
+
+
+def _build_router(plan: Graph, args, *, replicas: int,
+                  slo: SLOMonitor | None = None) -> Router:
+    """A fleet router per the CLI flags (raises
+    :class:`~repro.plan.InfeasibleBudget` when ``--host-budget`` has
+    no feasible per-replica plan)."""
+    fault = (FaultPolicy.parse(args.fault)
+             if getattr(args, "fault", None) else None)
+    pool = ReplicaPool(plan, PoolConfig(
+        replicas=replicas, host_budget=getattr(args, "host_budget", None),
+        server=_server_config(args)))
+    return Router(pool, slo=slo, fault=fault)
+
+
+def _cmd_fleet(args) -> int:
+    plan = _serve_plan(args)
+    if getattr(args, "budget", None):
+        print("fleet: use --host-budget (split across replicas) instead "
+              "of --budget", file=sys.stderr)
+        return 2
+    slo = _slo_monitor(args)
+    try:
+        router = _build_router(plan, args, replicas=args.replicas, slo=slo)
+    except InfeasibleBudget as exc:
+        _print_infeasible("fleet", plan, exc)
+        return 1
+    stop = threading.Event()
+    previous = _trap_signals(stop)
+    try:
+        with router:
+            with serve_http(router, host=args.host,
+                            port=args.port) as frontend:
+                host, port = frontend.address
+                pool = router.pool
+                budget_note = ""
+                if pool.memory_plan is not None:
+                    budget_note = (
+                        f", host budget "
+                        f"{format_bytes(pool.host_budget_bytes)} "
+                        f"({format_bytes(pool.memory_plan.budget_bytes or 0)}"
+                        f" per replica)")
+                print(f"fleet serving {plan.name!r} on http://{host}:{port} "
+                      f"({args.replicas} replica(s) x {args.workers} "
+                      f"worker(s){budget_note})")
+                print("endpoints: POST /infer, GET /healthz, GET /stats, "
+                      "GET /metrics" + (", GET /slo" if slo else ""))
+                if router.fault is not None:
+                    print(f"fault armed: {router.fault.describe()}")
+                try:
+                    _wait_for_stop(stop, args.duration)
+                except KeyboardInterrupt:
+                    pass
+                print("draining fleet: finishing in-flight requests",
+                      file=sys.stderr)
+                if not router.drain(args.drain_timeout):
+                    print(f"fleet drain timed out after "
+                          f"{args.drain_timeout} s", file=sys.stderr)
+            print(metrics_markdown(router.metrics,
+                                   title=f"{plan.name} fleet metrics"))
+    finally:
+        _restore_signals(previous)
     return 0
 
 
@@ -477,14 +602,30 @@ def _cmd_loadgen(args) -> int:
         deadline_s=(args.deadline_ms / 1e3
                     if args.deadline_ms is not None else None),
         seed=args.seed)
-    ok, mplan = _serve_memory_plan(plan, args)
-    if not ok:
-        return 1
     slo = _slo_monitor(args)
-    with InferenceServer(plan, _server_config(args), slo=slo,
-                         memory_plan=mplan) as server:
-        report = run_loadgen(server, config)
-        stats = server.stats()
+    if args.fleet:
+        if getattr(args, "budget", None):
+            print("loadgen --fleet: use --host-budget (split across "
+                  "replicas) instead of --budget", file=sys.stderr)
+            return 2
+        try:
+            backend = _build_router(plan, args, replicas=args.fleet, slo=slo)
+        except InfeasibleBudget as exc:
+            _print_infeasible("loadgen", plan, exc)
+            return 1
+    else:
+        ok, mplan = _serve_memory_plan(plan, args)
+        if not ok:
+            return 1
+        backend = InferenceServer(plan, _server_config(args), slo=slo,
+                                  memory_plan=mplan)
+    with backend:
+        report = run_loadgen(backend, config)
+        stats = backend.stats()
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(backend.metrics_text())
+            print(f"wrote Prometheus metrics to {args.metrics_out}",
+                  file=sys.stderr)
     # errors are always fatal; an unhealthy SLO is fatal when asked for
     rc = 1 if report.errors or not report.slo_ok else 0
     if args.json:
@@ -495,7 +636,7 @@ def _cmd_loadgen(args) -> int:
     print(report.summary())
     print()
     rows = [[name, f"{value:g}"] for name, value in stats.items()
-            if name.startswith(("serve.", "slo."))]
+            if name.startswith(("serve.", "fleet.", "slo."))]
     print(format_table(["metric", "value"], rows,
                        title=f"{plan.name} server metrics"))
     if rc and not report.slo_ok:
@@ -741,7 +882,7 @@ def _cmd_bench_suite(args) -> int:
         return 0 if comparison.passed else 1
     config = BenchConfig(models=tuple(args.models or DEFAULT_MODELS),
                          batch=args.batch, hw=args.hw, repeats=args.repeats,
-                         budget=args.budget)
+                         budget=args.budget, fleet=args.fleet)
     doc = collect_bench(config, name=args.name)
     headers = ["model", "variant", "peak B", "p50 ms", "p95 ms", "p99 ms"]
     if config.budget:
@@ -765,6 +906,27 @@ def _cmd_bench_suite(args) -> int:
     for model, entry in sorted(doc["models"].items()):
         print(f"{model}: {entry['reduction_pct']:.1f}% peak reduction "
               f"({entry['best_variant']})")
+    if config.fleet and "fleet" in doc:
+        fleet = doc["fleet"]
+        rows = []
+        for replicas, r in sorted(fleet["replicas"].items()):
+            rows.append([replicas,
+                         "yes" if r.get("feasible") else "no",
+                         r.get("replica_budget_bytes", "-"),
+                         f"{r['throughput_rps']:.1f}"
+                         if r.get("feasible") else "-",
+                         f"{r['p50_ms']:.2f}" if r.get("feasible") else "-",
+                         r.get("errors", "-")])
+        print()
+        print(format_table(
+            ["replicas", "feasible", "budget B/replica", "req/s", "p50 ms",
+             "errors"],
+            rows,
+            title=f"fleet throughput, {fleet['model']} under "
+                  f"{format_bytes(fleet['host_budget_bytes'])} host budget "
+                  f"(informational, never gated)"))
+        if "speedup" in fleet:
+            print(f"3-replica speedup over 1: {fleet['speedup']:.2f}x")
     if args.json:
         out = args.out or Path(f"BENCH_{args.name}.json")
         write_bench(doc, out)
@@ -1006,18 +1168,51 @@ def build_parser() -> argparse.ArgumentParser:
                             "on GET /metrics, loadgen exits non-zero on "
                             "violation")
 
+    def frontend_flags(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8100,
+                       help="listen port; 0 picks an ephemeral port")
+        p.add_argument("--duration", type=float, default=None,
+                       help="serve for N seconds then exit (default: until "
+                            "SIGTERM/SIGINT)")
+        p.add_argument("--drain-timeout", type=float, default=30.0,
+                       dest="drain_timeout", metavar="S",
+                       help="graceful-drain budget on shutdown: in-flight "
+                            "requests get this long to finish (default 30)")
+
+    def fleet_flags(p):
+        p.add_argument("--host-budget", default=None, dest="host_budget",
+                       metavar="BYTES",
+                       help="shared internal-tensor budget split evenly "
+                            "across the replicas (parse_budget grammar; "
+                            "NN%% is relative to replicas x one replica's "
+                            "unplanned peak)")
+        p.add_argument("--fault", default=None, metavar="SPEC",
+                       help="deterministic fault injection for failover "
+                            "testing: REPLICA:KIND:AFTER[:SLOW_MS] with "
+                            "KIND in kill|stall|slow (e.g. 1:kill:5)")
+
     p = sub.add_parser("serve", help="dynamic-batching inference server "
                                      "with a JSON/HTTP frontend")
     common(p)
     serve_flags(p)
     tune_flags(p, no_tune=False)
-    p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, default=8100,
-                   help="listen port; 0 picks an ephemeral port")
-    p.add_argument("--duration", type=float, default=None,
-                   help="serve for N seconds then exit (default: forever)")
+    frontend_flags(p)
     obs_flags(p)
     p.set_defaults(fn=_obs_wrap(_cmd_serve))
+
+    p = sub.add_parser("fleet", help="multi-replica fleet: shared host "
+                                     "budget, least-outstanding routing, "
+                                     "hedged retries, one HTTP frontend")
+    common(p)
+    serve_flags(p)
+    tune_flags(p, no_tune=False)
+    p.add_argument("--replicas", type=int, default=2,
+                   help="replica count (default 2)")
+    fleet_flags(p)
+    frontend_flags(p)
+    obs_flags(p)
+    p.set_defaults(fn=_obs_wrap(_cmd_fleet))
 
     p = sub.add_parser("loadgen", help="drive an in-process server with "
                                        "synthetic load; report p50/p95/p99")
@@ -1033,6 +1228,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="open-loop arrival rate, req/s (default 200)")
     p.add_argument("--samples", type=int, default=1,
                    help="samples per request (default 1)")
+    p.add_argument("--fleet", type=int, default=0, metavar="K",
+                   help="drive a K-replica fleet through the router "
+                        "instead of a single server (default 0: single)")
+    fleet_flags(p)
+    p.add_argument("--metrics-out", type=Path, default=None,
+                   dest="metrics_out", metavar="PATH",
+                   help="write the end-of-run Prometheus text exposition "
+                        "to PATH (scrape-equivalent of GET /metrics)")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON (for scripts/CI)")
     obs_flags(p)
@@ -1114,6 +1317,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suite mode: add an informational budgeted-peak "
                         "column (repro.plan enforced; NN%% is relative to "
                         "each variant's own peak; never gated)")
+    p.add_argument("--fleet", action="store_true",
+                   help="suite mode: add an informational fleet-throughput "
+                        "comparison (1 vs 3 replicas under one shared host "
+                        "budget via the repro.fleet router; never gated)")
     obs_flags(p)
     tune_flags(p, no_tune=False)
     p.set_defaults(fn=_cmd_bench)

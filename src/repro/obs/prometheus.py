@@ -9,12 +9,19 @@ only, like the rest of the repo:
 
 - counters render as ``TYPE counter`` with the conventional ``_total``
   suffix,
-- counters following the ``<base>.reason.<reason>`` naming convention
-  collapse into one labeled family: ``serve.dropped.reason.queue_full``
-  and ``serve.dropped.reason.deadline_expired`` render as
+- counters and gauges following the ``<base>.<label>.<value>`` naming
+  convention (for the label keys in :data:`LABEL_KEYS`) collapse into
+  one labeled family: ``serve.dropped.reason.queue_full`` and
+  ``serve.dropped.reason.deadline_expired`` render as
   ``repro_serve_dropped_total{reason="queue_full"} ...`` — so a single
-  PromQL ``sum by (reason)`` breaks overload/shed/expiry apart,
+  PromQL ``sum by (reason)`` breaks overload/shed/expiry apart — and
+  the fleet's ``fleet.replica_up.replica.0`` renders as
+  ``repro_fleet_replica_up{replica="0"}``,
 - gauges render as ``TYPE gauge``,
+- when a ``build_info`` version string is passed (the serving
+  frontends pass :data:`repro.__version__`), a conventional
+  ``repro_build_info{version="..."} 1`` gauge leads the document so
+  rollouts are distinguishable scrape-to-scrape,
 - histograms render as ``TYPE summary``: the p50/p95/p99 reservoir
   quantiles with ``quantile`` labels plus ``_sum`` / ``_count``, and
   the exact min/max as companion gauges.
@@ -31,7 +38,8 @@ import re
 
 from .metrics import MetricsRegistry
 
-__all__ = ["prometheus_text", "prometheus_metric_name", "CONTENT_TYPE"]
+__all__ = ["prometheus_text", "prometheus_metric_name", "CONTENT_TYPE",
+           "LABEL_KEYS"]
 
 #: the Content-Type a /metrics response must declare
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -40,6 +48,32 @@ _INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
 #: summary quantile label per snapshot key
 _QUANTILE_KEYS = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+#: dotted-name segments that collapse into Prometheus labels:
+#: ``<base>.<key>.<value>`` renders as ``<base>{<key>="<value>"}``
+LABEL_KEYS = ("reason", "replica")
+
+
+def _partition_labeled(metrics: dict[str, float]) -> tuple[
+        dict[str, float], dict[tuple[str, str], dict[str, float]]]:
+    """Split ``{base}.{label}.{value}``-named metrics from plain ones.
+
+    Returns ``(plain, labeled)`` where ``labeled`` maps ``(base,
+    label_key)`` to ``{label_value: metric_value}``.  Only the label
+    keys in :data:`LABEL_KEYS` participate; the first matching key
+    wins, so one family carries one label.
+    """
+    plain: dict[str, float] = {}
+    labeled: dict[tuple[str, str], dict[str, float]] = {}
+    for name, value in metrics.items():
+        for key in LABEL_KEYS:
+            base, sep, label_value = name.partition(f".{key}.")
+            if sep and label_value:
+                labeled.setdefault((base, key), {})[label_value] = value
+                break
+        else:
+            plain[name] = value
+    return plain, labeled
 
 
 def prometheus_metric_name(name: str, namespace: str = "repro") -> str:
@@ -61,28 +95,29 @@ def _num(value: float) -> str:
 
 
 def prometheus_text(registry: MetricsRegistry, *, namespace: str = "repro",
-                    extra_gauges: dict[str, float] | None = None) -> str:
+                    extra_gauges: dict[str, float] | None = None,
+                    build_info: str | None = None) -> str:
     """The registry as one Prometheus text-exposition document.
 
     ``extra_gauges`` lets a caller append point-in-time values that
     live outside the registry (the server's in-flight count, worker
     count); they render as gauges under the same namespace.
+    ``build_info`` (a version string) prepends the conventional
+    ``<namespace>_build_info{version="..."} 1`` gauge.
     """
     counters, gauges, histograms = registry.export()
     if extra_gauges:
         gauges = {**gauges, **{k: float(v) for k, v in extra_gauges.items()}}
     lines: list[str] = []
 
-    # split labeled counters (the ``<base>.reason.<value>`` convention)
-    # from plain ones, grouping the labeled families
-    plain: dict[str, float] = {}
-    labeled: dict[str, dict[str, float]] = {}
-    for name, value in counters.items():
-        base, sep, reason = name.partition(".reason.")
-        if sep and reason:
-            labeled.setdefault(base, {})[reason] = value
-        else:
-            plain[name] = value
+    if build_info is not None:
+        metric = prometheus_metric_name("build_info", namespace)
+        lines.append(f"# HELP {metric} Package version serving this "
+                     f"endpoint (constant 1; the label carries the value).")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f'{metric}{{version="{build_info}"}} 1')
+
+    plain, labeled = _partition_labeled(counters)
 
     for name in sorted(plain):
         metric = prometheus_metric_name(name, namespace)
@@ -93,23 +128,36 @@ def prometheus_text(registry: MetricsRegistry, *, namespace: str = "repro",
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {_num(plain[name])}")
 
-    for base in sorted(labeled):
+    for base, key in sorted(labeled):
+        family = labeled[(base, key)]
         metric = prometheus_metric_name(base, namespace)
         if not metric.endswith("_total"):
             metric += "_total"
         lines.append(f"# HELP {metric} Counter {base!r} from the repro "
-                     f"metrics registry, labeled by reason.")
+                     f"metrics registry, labeled by {key}.")
         lines.append(f"# TYPE {metric} counter")
-        for reason in sorted(labeled[base]):
-            lines.append(f'{metric}{{reason="{reason}"}} '
-                         f"{_num(labeled[base][reason])}")
+        for value in sorted(family):
+            lines.append(f'{metric}{{{key}="{value}"}} '
+                         f"{_num(family[value])}")
 
-    for name in sorted(gauges):
+    plain_gauges, labeled_gauges = _partition_labeled(gauges)
+
+    for name in sorted(plain_gauges):
         metric = prometheus_metric_name(name, namespace)
         lines.append(f"# HELP {metric} Gauge {name!r} from the repro "
                      f"metrics registry.")
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_num(gauges[name])}")
+        lines.append(f"{metric} {_num(plain_gauges[name])}")
+
+    for base, key in sorted(labeled_gauges):
+        family = labeled_gauges[(base, key)]
+        metric = prometheus_metric_name(base, namespace)
+        lines.append(f"# HELP {metric} Gauge {base!r} from the repro "
+                     f"metrics registry, labeled by {key}.")
+        lines.append(f"# TYPE {metric} gauge")
+        for value in sorted(family):
+            lines.append(f'{metric}{{{key}="{value}"}} '
+                         f"{_num(family[value])}")
 
     for name in sorted(histograms):
         snap = histograms[name]

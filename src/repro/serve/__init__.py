@@ -40,7 +40,7 @@ from .loadgen import (LoadgenConfig, LoadgenReport, request_inputs,
                       run_loadgen)
 from .server import (DeadlineExceeded, InferenceServer, Overloaded,
                      ServeError, ServeFuture, ServerClosed, ServerConfig,
-                     resolve_plan)
+                     ServerDraining, resolve_plan)
 
 __all__ = [
     "Segment",
@@ -52,6 +52,7 @@ __all__ = [
     "Overloaded",
     "DeadlineExceeded",
     "ServerClosed",
+    "ServerDraining",
     "ServeFuture",
     "ServerConfig",
     "InferenceServer",

@@ -1,23 +1,29 @@
-"""Minimal stdlib HTTP frontend for an :class:`InferenceServer`.
+"""Minimal stdlib HTTP frontend for a servable backend.
 
-Three endpoints, JSON in/out, no dependencies beyond the standard
-library (the repo's no-new-deps rule):
+The frontend serves anything implementing the small *servable*
+protocol — ``graph``, ``slo``, ``submit(inputs, deadline_s=...)``,
+``stats()``, ``health_doc()``, ``metrics_text()`` — which today means
+a single :class:`InferenceServer` or a whole-fleet
+:class:`~repro.fleet.Router`.  JSON in/out, no dependencies beyond
+the standard library (the repo's no-new-deps rule):
 
 - ``GET /healthz`` — liveness: 200 ``{"status": "ok", ...}`` while the
-  server accepts work, 503 once closed or a worker died,
-- ``GET /stats`` — the server's metrics snapshot (queue depth,
+  backend accepts work, 503 once draining, closed or a worker died,
+- ``GET /stats`` — the backend's metrics snapshot (queue depth,
   latency/batch histograms, shed/reject counters),
 - ``GET /metrics`` — the same registry in Prometheus text exposition
   format (version 0.0.4), scrapeable as-is (including the ``slo_*``
-  burn-rate gauges and the reason-labeled
-  ``repro_serve_dropped_total`` family); see
+  burn-rate gauges, the reason-labeled
+  ``repro_serve_dropped_total`` family, the fleet's replica-labeled
+  families, and the ``repro_build_info`` version gauge); see
   :mod:`repro.obs.prometheus` and ``docs/serving.md``,
 - ``GET /slo`` — the attached :class:`~repro.obs.SLOMonitor`'s
   objectives evaluated now, as JSON (404 when the server has none),
 - ``POST /infer`` — body ``{"inputs": {name: nested-list}, optional
   "deadline_ms": float}``; replies ``{"outputs": {...},
   "latency_ms": float}``.  Overload maps to **429**, an expired
-  deadline to **504**, malformed requests to **400**, a closed server
+  deadline to **504**, malformed requests to **400**, a body larger
+  than :data:`MAX_BODY_BYTES` to **413**, a closed or draining server
   to **503** — the typed overload semantics on the wire.
 
 JSON tensors are the simplest thing that round-trips everywhere; for
@@ -35,19 +41,25 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from ..obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
-from ..obs.prometheus import prometheus_text
 from .server import (DeadlineExceeded, InferenceServer, Overloaded,
                      ServerClosed)
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["ServeHTTPD", "serve_http"]
+__all__ = ["ServeHTTPD", "serve_http", "MAX_BODY_BYTES"]
+
+#: request bodies larger than this are rejected with 413 before
+#: parsing — a JSON-encoded tensor this large means a caller bug, and
+#: buffering it would let one request balloon the frontend's memory
+MAX_BODY_BYTES = 32 * 1024 * 1024
 
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
-    #: set by :func:`serve_http` on the handler subclass
+    #: set by :func:`serve_http` on the handler subclass; any servable
+    #: backend (an InferenceServer or a fleet Router)
     inference_server: InferenceServer
+    max_body_bytes = MAX_BODY_BYTES
 
     def log_message(self, fmt: str, *args) -> None:  # route to logging
         logger.debug("http: " + fmt, *args)
@@ -67,23 +79,13 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         server = self.inference_server
         if self.path == "/healthz":
-            if server.healthy():
-                self._reply(200, {"status": "ok",
-                                  "model": server.graph.name,
-                                  "workers": server.config.num_workers,
-                                  "graph_batch": server.graph_batch})
-            else:
-                self._reply(503, {"status": "unavailable"})
+            doc = server.health_doc()
+            self._reply(200 if doc.get("status") == "ok" else 503, doc)
         elif self.path == "/stats":
             self._reply(200, {"stats": server.stats()})
         elif self.path == "/metrics":
-            stats = server.stats()
-            text = prometheus_text(
-                server.metrics,
-                extra_gauges={key: stats[key] for key in (
-                    "serve.queue_depth", "serve.in_flight",
-                    "serve.workers", "serve.graph_batch")})
-            self._reply_raw(200, text.encode(), PROMETHEUS_CONTENT_TYPE)
+            self._reply_raw(200, server.metrics_text().encode(),
+                            PROMETHEUS_CONTENT_TYPE)
         elif self.path == "/slo":
             if server.slo is None:
                 self._reply(404, {"error": "no SLO monitor attached"})
@@ -102,6 +104,13 @@ class _Handler(BaseHTTPRequestHandler):
         server = self.inference_server
         try:
             length = int(self.headers.get("Content-Length", "0"))
+            if length < 0:
+                raise ValueError(f"bad Content-Length {length}")
+            if length > self.max_body_bytes:
+                self._reply(413, {
+                    "error": f"request body of {length} bytes exceeds the "
+                             f"{self.max_body_bytes}-byte limit"})
+                return
             doc = json.loads(self.rfile.read(length))
             raw = doc["inputs"]
             if not isinstance(raw, dict):
@@ -133,7 +142,8 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServeHTTPD:
-    """Owns the listening socket + acceptor thread for one server."""
+    """Owns the listening socket + acceptor thread for one backend
+    (an :class:`InferenceServer` or a :class:`~repro.fleet.Router`)."""
 
     def __init__(self, server: InferenceServer, host: str = "127.0.0.1",
                  port: int = 0) -> None:

@@ -176,6 +176,10 @@ def _settle(future_or_exc, tally: _Tally, timeout: float) -> None:
         return
     try:
         future_or_exc.result(timeout)
+    except Overloaded:
+        # a fleet router reports exhausted-overload through the
+        # future rather than at submit; still a typed rejection
+        tally.record("rejected")
     except DeadlineExceeded:
         tally.record("shed")
     except Exception:

@@ -58,7 +58,8 @@ from .batcher import Shard, assemble, request_samples, scatter
 logger = logging.getLogger(__name__)
 
 __all__ = ["ServeError", "Overloaded", "DeadlineExceeded", "ServerClosed",
-           "ServeFuture", "ServerConfig", "InferenceServer", "resolve_plan"]
+           "ServerDraining", "ServeFuture", "ServerConfig",
+           "InferenceServer", "resolve_plan"]
 
 
 class ServeError(RuntimeError):
@@ -75,6 +76,13 @@ class DeadlineExceeded(ServeError):
 
 class ServerClosed(ServeError):
     """The server is shut down (or was, before the request completed)."""
+
+
+class ServerDraining(ServerClosed):
+    """The server is draining: it finishes in-flight work but admits
+    nothing new.  A subclass of :class:`ServerClosed` so existing
+    retry/failover logic treats the two identically; the fleet router
+    uses the distinction only for metrics labels."""
 
 
 class ServeFuture:
@@ -197,6 +205,7 @@ class InferenceServer:
         self._queue: deque[_Request] = deque()
         self._workers: list[threading.Thread] = []
         self._closed = False
+        self._draining = False
         self._started = False
         self._in_flight = 0
         self._ids = itertools.count()
@@ -270,15 +279,77 @@ class InferenceServer:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Graceful shutdown: stop admitting, finish in-flight, close.
+
+        New :meth:`submit` calls raise :class:`ServerDraining` (a
+        :class:`ServerClosed`) immediately, :meth:`healthy` flips to
+        False (so ``GET /healthz`` answers 503 and a fleet router
+        stops sending traffic), and the call blocks until every
+        queued and in-flight request has completed — then the server
+        closes for real.  Returns False when ``timeout`` expired with
+        work still pending (the server closes anyway, rejecting the
+        leftovers the way :meth:`close` does).
+        """
+        with self._not_empty:
+            if self._closed:
+                return True
+            self._draining = True
+            self._not_empty.notify_all()
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        drained = True
+        while True:
+            with self._lock:
+                idle = not self._queue and self._in_flight == 0
+            if idle:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                drained = False
+                break
+            time.sleep(0.002)
+        self.close()
+        return drained
+
     @property
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def draining(self) -> bool:
+        return self._draining and not self._closed
+
     def healthy(self) -> bool:
         """Accepting work and every worker thread alive."""
-        if self._closed or not self._started:
+        if self._closed or self._draining or not self._started:
             return False
         return all(w.is_alive() for w in self._workers)
+
+    def health_doc(self) -> dict:
+        """The ``GET /healthz`` body: ``status`` is ``"ok"`` while
+        accepting work, ``"draining"`` during :meth:`drain`, else
+        ``"unavailable"`` — anything but ``"ok"`` maps to 503."""
+        if self.healthy():
+            return {"status": "ok", "model": self.graph.name,
+                    "workers": self.config.num_workers,
+                    "graph_batch": self.graph_batch}
+        if self.draining:
+            return {"status": "draining", "model": self.graph.name}
+        return {"status": "unavailable"}
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body: the registry in Prometheus text
+        exposition, plus the point-in-time extras and the
+        ``repro_build_info`` version gauge."""
+        from ..obs.prometheus import prometheus_text
+        from .._version import __version__
+
+        stats = self.stats()
+        return prometheus_text(
+            self.metrics, build_info=__version__,
+            extra_gauges={key: stats[key] for key in (
+                "serve.queue_depth", "serve.in_flight",
+                "serve.workers", "serve.graph_batch")})
 
     # -- admission -----------------------------------------------------
 
@@ -311,6 +382,9 @@ class InferenceServer:
         with self._not_empty:
             if self._closed:
                 raise ServerClosed("server is closed")
+            if self._draining:
+                raise ServerDraining("server is draining: finishing "
+                                     "in-flight requests, admitting none")
             if len(self._queue) >= self.config.max_queue:
                 self.metrics.inc("serve.rejected")
                 self._drop(request, "queue_full")

@@ -1,0 +1,47 @@
+"""FaultPolicy: grammar, validation, description."""
+
+import pytest
+
+from repro.fleet import FAULT_KINDS, FaultPolicy
+
+
+class TestParse:
+    def test_kill_spec(self):
+        fault = FaultPolicy.parse("1:kill:5")
+        assert (fault.replica, fault.kind, fault.after) == (1, "kill", 5)
+
+    def test_slow_spec_with_millis(self):
+        fault = FaultPolicy.parse("0:slow:3:40")
+        assert fault.kind == "slow"
+        assert fault.slow_s == pytest.approx(0.040)
+
+    def test_slow_default_delay(self):
+        assert FaultPolicy.parse("0:slow:3").slow_s == pytest.approx(0.05)
+
+    @pytest.mark.parametrize("spec", [
+        "", "1:kill", "1:kill:5:9:9", "x:kill:5", "1:kill:y",
+        "1:explode:5",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPolicy.parse(spec)
+
+
+class TestValidation:
+    def test_kinds_are_closed_set(self):
+        assert set(FAULT_KINDS) == {"kill", "stall", "slow"}
+
+    def test_negative_replica_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(replica=-1, kind="kill", after=1)
+
+    def test_after_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(replica=0, kind="kill", after=0)
+
+    def test_describe_mentions_kind_and_replica(self):
+        text = FaultPolicy.parse("2:stall:7").describe()
+        assert "stall" in text and "replica 2" in text and "7" in text
+
+    def test_describe_slow_includes_delay(self):
+        assert "40 ms" in FaultPolicy.parse("0:slow:1:40").describe()

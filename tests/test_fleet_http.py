@@ -1,0 +1,95 @@
+"""serve_http over a Router: the fleet behind the same HTTP surface."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.fleet import PoolConfig, ReplicaPool, Router
+from repro.serve import ServerConfig, serve_http
+
+from _graph_fixtures import make_chain_graph
+from test_obs_prometheus import parse_exposition
+
+
+@pytest.fixture()
+def fleet_served():
+    g = make_chain_graph(batch=4)
+    pool = ReplicaPool(g, PoolConfig(
+        replicas=2, host_budget="100%",
+        server=ServerConfig(max_wait_s=0.0)))
+    with Router(pool) as router:
+        with serve_http(router) as frontend:
+            host, port = frontend.address
+            yield g, router, f"http://{host}:{port}"
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+def _post(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestFleetHealthz:
+    def test_healthz_reports_replica_detail(self, fleet_served):
+        _, _, base = fleet_served
+        status, body = _get(base + "/healthz")
+        doc = json.loads(body)
+        assert status == 200 and doc["status"] == "ok"
+        assert doc["ready"] == 2
+        assert [r["id"] for r in doc["replicas"]] == [0, 1]
+        assert all(r["state"] == "ready" for r in doc["replicas"])
+
+    def test_healthz_503_while_draining(self, fleet_served):
+        _, router, base = fleet_served
+        router._draining = True
+        try:
+            status, body = _get(base + "/healthz")
+            assert status == 503
+            assert json.loads(body)["status"] == "draining"
+        finally:
+            router._draining = False
+
+
+class TestFleetInfer:
+    def test_infer_round_trips_through_the_fleet(self, fleet_served):
+        g, router, base = fleet_served
+        v = g.inputs[0]
+        x = np.random.default_rng(0).normal(
+            size=(1,) + v.shape[1:]).astype(v.dtype.np)
+        status, doc = _post(base + "/infer", {"inputs": {v.name: x.tolist()}})
+        assert status == 200
+        assert doc["outputs"]
+        assert router.metrics.get("fleet.completed") == 1
+
+
+class TestFleetMetrics:
+    def test_metrics_expose_per_replica_and_fleet_families(self, fleet_served):
+        g, router, base = fleet_served
+        v = g.inputs[0]
+        x = np.zeros((1,) + v.shape[1:], v.dtype.np)
+        _post(base + "/infer", {"inputs": {v.name: x.tolist()}})
+        status, body = _get(base + "/metrics")
+        assert status == 200
+        samples = parse_exposition(body.decode())
+        assert samples[("repro_fleet_replica_up", '{replica="0"}')] == 1.0
+        assert samples[("repro_fleet_replica_up", '{replica="1"}')] == 1.0
+        assert samples[("repro_fleet_requests_total", "")] >= 1.0
+        assert samples[("repro_fleet_ready_replicas", "")] == 2.0
+        assert samples[("repro_fleet_host_budget_bytes", "")] > 0
+        assert any(name == "repro_build_info" for name, _ in samples)

@@ -1,0 +1,220 @@
+"""The fleet router: balancing, failover, hedging, typed errors."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.fleet import (FaultPolicy, PoolConfig, ReplicaPool, Router,
+                         RouterConfig)
+from repro.serve import (DeadlineExceeded, InferenceServer, LoadgenConfig,
+                         Overloaded, ServerClosed, ServerConfig,
+                         ServerDraining, run_loadgen)
+
+from _graph_fixtures import make_chain_graph
+
+
+def _fleet(replicas=2, *, graph=None, fault=None, router=None, **pool_kwargs):
+    graph = graph or make_chain_graph(batch=4)
+    pool_kwargs.setdefault("server", ServerConfig(max_wait_s=0.0))
+    pool_kwargs.setdefault("health_interval_s", 0.01)
+    pool_kwargs.setdefault("readmit_backoff_s", 0.05)
+    pool = ReplicaPool(graph, PoolConfig(replicas=replicas, **pool_kwargs))
+    return Router(pool, router, fault=fault)
+
+
+def _payload(graph, seed=0, samples=1):
+    rng = np.random.default_rng(seed)
+    v = graph.inputs[0]
+    return {v.name: rng.normal(size=(samples,) + v.shape[1:])
+            .astype(v.dtype.np)}
+
+
+class TestRouting:
+    def test_infer_matches_single_server_bitwise(self):
+        g = make_chain_graph(batch=4)
+        payloads = [_payload(g, seed=i) for i in range(6)]
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as single:
+            expected = [single.infer(p, timeout=10.0) for p in payloads]
+        with _fleet(replicas=3, graph=g) as fleet:
+            for payload, reference in zip(payloads, expected):
+                outputs = fleet.infer(payload, timeout=10.0)
+                assert set(outputs) == set(reference)
+                for name in outputs:
+                    assert np.array_equal(outputs[name], reference[name])
+
+    def test_requests_spread_across_replicas(self):
+        # hold batches open so outstanding counts stay visible, and
+        # stagger submits so each request picks against settled counts
+        # — otherwise instant completions make the spread racy
+        config = RouterConfig(hedge=False)
+        with _fleet(replicas=3, server=ServerConfig(max_wait_s=0.3),
+                    router=config) as fleet:
+            futures = []
+            for i in range(6):
+                futures.append(fleet.submit(_payload(fleet.graph, seed=i)))
+                time.sleep(0.02)
+            for future in futures:
+                future.result(10.0)
+            routed = [r.routed for r in fleet.pool.replicas]
+            assert sum(routed) >= 6
+            assert all(n > 0 for n in routed)
+
+    def test_served_by_and_attempts_recorded(self):
+        with _fleet(replicas=2) as fleet:
+            future = fleet.submit(_payload(fleet.graph))
+            future.result(10.0)
+            assert future.served_by in (0, 1)
+            assert future.attempts >= 1
+            assert future.trace_id
+
+    def test_submit_after_close_raises(self):
+        fleet = _fleet(replicas=1).start()
+        fleet.close()
+        with pytest.raises(ServerClosed):
+            fleet.submit(_payload(fleet.graph))
+
+
+class TestFailover:
+    def test_kill_mid_run_zero_client_errors_and_identical_outputs(self):
+        g = make_chain_graph(batch=4)
+        payloads = [_payload(g, seed=i) for i in range(10)]
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as single:
+            expected = [single.infer(p, timeout=10.0) for p in payloads]
+        fault = FaultPolicy(replica=0, kind="kill", after=2)
+        with _fleet(replicas=2, graph=g, fault=fault) as fleet:
+            for payload, reference in zip(payloads, expected):
+                outputs = fleet.infer(payload, timeout=10.0)  # never raises
+                for name in outputs:
+                    assert np.array_equal(outputs[name], reference[name])
+            stats = fleet.stats()
+            assert stats["fleet.faults.reason.kill"] == 1
+            assert stats["fleet.completed"] == 10
+            assert stats.get("fleet.retries.reason.replica_closed", 0) >= 1
+            # the corpse is ejected with backoff, then re-admitted
+            replica = fleet.pool.replicas[0]
+            deadline = time.monotonic() + 5.0
+            while not replica.ready and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert replica.ready and replica.generation == 1
+            assert fleet.metrics.get("fleet.readmissions") >= 1
+
+    def test_stalled_replica_rescued_by_hedge(self):
+        fault = FaultPolicy(replica=0, kind="stall", after=1)
+        config = RouterConfig(hedge_delay_s=0.02, attempt_timeout_s=2.0)
+        with _fleet(replicas=2, fault=fault, router=config) as fleet:
+            outputs = fleet.infer(_payload(fleet.graph), timeout=10.0)
+            assert outputs
+            assert fleet.metrics.get("fleet.hedges") >= 1
+            assert fleet.metrics.get("fleet.hedge_wins") >= 1
+
+    def test_slow_replica_hedged_around(self):
+        fault = FaultPolicy(replica=0, kind="slow", after=1, slow_s=0.2)
+        config = RouterConfig(hedge_delay_s=0.02, attempt_timeout_s=5.0)
+        with _fleet(replicas=2, fault=fault, router=config) as fleet:
+            start = time.monotonic()
+            for i in range(4):
+                fleet.infer(_payload(fleet.graph, seed=i), timeout=10.0)
+            # 4 requests against a 200 ms-slow replica would take 800 ms
+            # if pinned there; hedging keeps the run well under that
+            assert time.monotonic() - start < 0.8
+            assert fleet.metrics.get("fleet.faults.reason.slow") == 1
+
+    def test_no_ready_replica_surfaces_overloaded(self):
+        config = RouterConfig(max_attempts=2, retry_backoff_s=0.005,
+                              hedge=False)
+        with _fleet(replicas=1, readmit_backoff_s=30.0,
+                    router=config) as fleet:
+            fleet.pool.eject(fleet.pool.replicas[0], "test")
+            future = fleet.submit(_payload(fleet.graph))
+            with pytest.raises(Overloaded):
+                future.result(10.0)
+            assert fleet.metrics.get("fleet.failed") == 1
+            assert fleet.metrics.get(
+                "fleet.retries.reason.no_ready_replica") >= 1
+
+    def test_deadline_expires_as_typed_error(self):
+        config = RouterConfig(max_attempts=8, retry_backoff_s=0.05,
+                              hedge=False)
+        with _fleet(replicas=1, readmit_backoff_s=30.0,
+                    router=config) as fleet:
+            fleet.pool.eject(fleet.pool.replicas[0], "test")
+            future = fleet.submit(_payload(fleet.graph), deadline_s=0.02)
+            with pytest.raises(DeadlineExceeded):
+                future.result(10.0)
+
+    def test_loadgen_over_fleet_counts_overload_as_rejected(self):
+        config = RouterConfig(max_attempts=2, retry_backoff_s=0.005,
+                              hedge=False)
+        with _fleet(replicas=1, readmit_backoff_s=30.0,
+                    router=config) as fleet:
+            fleet.pool.eject(fleet.pool.replicas[0], "test")
+            report = run_loadgen(fleet, LoadgenConfig(requests=4,
+                                                      concurrency=2))
+            assert report.errors == 0
+            assert report.rejected == 4
+
+
+class TestDrain:
+    def test_drain_finishes_in_flight_then_rejects(self):
+        with _fleet(replicas=2) as fleet:
+            futures = [fleet.submit(_payload(fleet.graph, seed=i))
+                       for i in range(6)]
+            assert fleet.drain(timeout=10.0)
+            for future in futures:
+                assert future.result(0)  # all in-flight work completed
+            with pytest.raises(ServerClosed):  # drain ends fully closed
+                fleet.submit(_payload(fleet.graph))
+            assert fleet.closed
+
+    def test_drain_flips_health(self):
+        fleet = _fleet(replicas=1).start()
+        try:
+            assert fleet.healthy()
+            assert fleet.health_doc()["status"] == "ok"
+            fleet._draining = True
+            assert not fleet.healthy()
+            assert fleet.health_doc()["status"] == "draining"
+            with pytest.raises(ServerDraining):
+                fleet.submit(_payload(fleet.graph))
+        finally:
+            fleet._draining = False
+            fleet.close()
+        assert fleet.health_doc()["status"] == "unavailable"
+
+
+class TestServableSurface:
+    def test_health_doc_lists_replicas(self):
+        with _fleet(replicas=3) as fleet:
+            doc = fleet.health_doc()
+            assert doc["status"] == "ok" and doc["ready"] == 3
+            assert [r["id"] for r in doc["replicas"]] == [0, 1, 2]
+
+    def test_stats_and_metrics_text_cover_fleet_families(self):
+        with _fleet(replicas=2) as fleet:
+            fleet.infer(_payload(fleet.graph), timeout=10.0)
+            stats = fleet.stats()
+            assert stats["fleet.requests"] >= 1
+            assert stats["fleet.ready_replicas"] == 2.0
+            text = fleet.metrics_text()
+            assert 'repro_fleet_replica_up{replica="0"}' in text
+            assert 'repro_build_info{version=' in text
+            assert "repro_fleet_requests_total" in text
+
+    def test_tracing_tags_spans_with_replica(self):
+        from repro.obs import Tracer, use_tracer
+
+        g = make_chain_graph(batch=4)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with _fleet(replicas=2, graph=g) as fleet:
+                fleet.infer(_payload(g), timeout=10.0)
+        names = {s.name for s in tracer.spans}
+        assert "fleet.admit" in names
+        assert any(s.name == "serve.batch"
+                   and s.args.get("replica") is not None
+                   for s in tracer.spans)
+        instants = {e.name for e in tracer.instants}
+        assert "fleet.attempt" in instants
+        assert "fleet.request_done" in instants

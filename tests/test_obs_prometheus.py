@@ -93,3 +93,45 @@ class TestExposition:
 
     def test_content_type_declares_004(self):
         assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestBuildInfo:
+    def test_build_info_gauge_leads_the_document(self):
+        m = MetricsRegistry()
+        m.inc("serve.requests")
+        text = prometheus_text(m, build_info="1.2.3")
+        first_sample = next(line for line in text.splitlines()
+                            if not line.startswith("#"))
+        assert first_sample == 'repro_build_info{version="1.2.3"} 1'
+        samples = parse_exposition(text)
+        assert samples[("repro_build_info", '{version="1.2.3"}')] == 1.0
+
+    def test_no_build_info_no_gauge(self):
+        m = MetricsRegistry()
+        m.inc("serve.requests")
+        assert "repro_build_info" not in prometheus_text(m)
+
+
+class TestDottedLabels:
+    def test_reason_and_replica_collapse_into_label_families(self):
+        m = MetricsRegistry()
+        m.inc("fleet.retries.reason.replica_closed", 2)
+        m.inc("fleet.retries.reason.deadline")
+        m.gauge("fleet.replica_up.replica.0", 1)
+        m.gauge("fleet.replica_up.replica.1", 0)
+        samples = parse_exposition(prometheus_text(m))
+        assert samples[("repro_fleet_retries_total",
+                        '{reason="replica_closed"}')] == 2.0
+        assert samples[("repro_fleet_retries_total",
+                        '{reason="deadline"}')] == 1.0
+        assert samples[("repro_fleet_replica_up", '{replica="0"}')] == 1.0
+        assert samples[("repro_fleet_replica_up", '{replica="1"}')] == 0.0
+
+    def test_labeled_family_shares_one_type_header(self):
+        m = MetricsRegistry()
+        m.inc("fleet.retries.reason.a")
+        m.inc("fleet.retries.reason.b")
+        text = prometheus_text(m)
+        type_lines = [line for line in text.splitlines()
+                      if line.startswith("# TYPE repro_fleet_retries_total")]
+        assert len(type_lines) == 1

@@ -122,3 +122,55 @@ class TestEndpoints:
             assert doc["status"] == "unavailable"
         finally:
             frontend.close()
+
+
+class TestBodyLimits:
+    def test_oversized_body_is_413(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            with serve_http(server, port=0) as frontend:
+                # shrink the limit so the test doesn't ship 32 MiB
+                frontend.httpd.RequestHandlerClass.max_body_bytes = 64
+                host, port = frontend.address
+                payload = {"inputs": {"x": [0.0] * 256}}
+                status, doc = _post(f"http://{host}:{port}/infer", payload)
+        assert status == 413
+        assert "limit" in doc["error"]
+
+    def test_negative_content_length_is_400(self):
+        import http.client
+
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            with serve_http(server, port=0) as frontend:
+                host, port = frontend.address
+                conn = http.client.HTTPConnection(host, port, timeout=10)
+                conn.putrequest("POST", "/infer")
+                conn.putheader("Content-Length", "-5")
+                conn.endheaders()
+                status = conn.getresponse().status
+                conn.close()
+        assert status == 400
+
+
+class TestHealthzDuringDrain:
+    def test_healthz_503_draining_while_server_drains(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            with serve_http(server, port=0) as frontend:
+                host, port = frontend.address
+                base = f"http://{host}:{port}"
+                assert _get(f"{base}/healthz")[0] == 200
+                # freeze mid-drain (the live window is too brief to
+                # poll): the frontend must flip to 503/"draining" so a
+                # balancer stops routing before the socket goes away
+                server._draining = True
+                try:
+                    status, doc = _get(f"{base}/healthz")
+                    assert status == 503
+                    assert doc["status"] == "draining"
+                    assert _post(f"{base}/infer", {"inputs": {
+                        "x": np.zeros((1, 16, 12, 12)).tolist()}})[0] == 503
+                finally:
+                    server._draining = False
+                assert _get(f"{base}/healthz")[0] == 200

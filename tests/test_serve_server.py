@@ -250,3 +250,54 @@ class TestWorkerAttribution:
             server.submit(_sample(0)).result(10.0)
         # sessions got the no-op tracer: nothing to assert beyond "works"
         assert server.stats()["serve.completed"] == 1
+
+
+class TestDrain:
+    def test_drain_finishes_in_flight_and_flips_health(self):
+        from repro.serve import ServerDraining
+
+        g = make_chain_graph(batch=4)
+        # a hold-open window keeps the request in flight long enough
+        # for the drain to start with work outstanding
+        config = ServerConfig(num_workers=1, max_wait_s=0.2)
+        with InferenceServer(g, config) as server:
+            assert server.healthy()
+            assert server.health_doc()["status"] == "ok"
+            future = server.submit(_sample(0))
+            assert server.drain(timeout=10.0)
+            assert future.done() and future.result(0)
+            assert not server.healthy()
+            with pytest.raises(ServerClosed):
+                server.submit(_sample(1))
+
+    def test_submit_while_draining_is_typed_rejection(self):
+        from repro.serve import ServerDraining
+
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            # freeze the server in its draining state: drain() holds it
+            # there only as long as work is in flight, which is too
+            # brief to assert against reliably
+            server._draining = True
+            try:
+                assert server.draining
+                assert server.health_doc()["status"] == "draining"
+                assert not server.healthy()
+                with pytest.raises(ServerDraining):
+                    server.submit(_sample(1))
+            finally:
+                server._draining = False
+            assert server.drain(timeout=10.0)
+
+    def test_drain_on_idle_server_is_immediate(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            start = time.monotonic()
+            assert server.drain(timeout=10.0)
+            assert time.monotonic() - start < 2.0
+
+    def test_drain_is_idempotent(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            assert server.drain(timeout=10.0)
+            assert server.drain(timeout=10.0)  # already closed: still True
