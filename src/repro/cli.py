@@ -120,9 +120,9 @@ from .fleet import FaultPolicy, PoolConfig, ReplicaPool, Router
 from .ir import (Graph, format_graph, load_graph, save_dot, save_graph,
                  summarize_graph)
 from .models import EXTRA_MODELS, MODEL_ZOO, build_extra, build_model
-from .obs import (SLOMonitor, Tracer, configure_logging, parse_slos,
-                  profile_tracer, use_tracer, write_collapsed_stacks,
-                  write_trace)
+from .obs import (FleetView, SLOMonitor, Tracer, configure_logging,
+                  parse_slos, profile_tracer, render_dashboard, use_tracer,
+                  write_collapsed_stacks, write_diag_bundle, write_trace)
 from .plan import (BudgetSyntaxError, InfeasibleBudget, PlanCostModel,
                    format_bytes, parse_budget, plan_memory)
 from .runtime import (InferenceSession, metrics_markdown, plan_arena,
@@ -498,14 +498,18 @@ def _cmd_serve(args) -> int:
     try:
         with InferenceServer(plan, _server_config(args), slo=slo,
                              memory_plan=mplan) as server:
-            with serve_http(server, host=args.host,
-                            port=args.port) as frontend:
+            # the fleet view powers GET /fleetz and `repro top`; it only
+            # reads the server, so serving behaviour is unchanged
+            server.view = FleetView(server)
+            with server.view, serve_http(server, host=args.host,
+                                         port=args.port) as frontend:
                 host, port = frontend.address
                 print(f"serving {plan.name!r} on http://{host}:{port} "
                       f"({args.workers} worker(s), graph batch "
                       f"{server.graph_batch}, queue bound {args.max_queue})")
                 print("endpoints: POST /infer, GET /healthz, GET /stats, "
-                      "GET /metrics" + (", GET /slo" if slo else ""))
+                      "GET /metrics, GET /fleetz"
+                      + (", GET /slo" if slo else ""))
                 if slo:
                     for objective in slo.objectives:
                         print(f"slo: {objective.describe()}")
@@ -560,8 +564,9 @@ def _cmd_fleet(args) -> int:
     previous = _trap_signals(stop)
     try:
         with router:
-            with serve_http(router, host=args.host,
-                            port=args.port) as frontend:
+            router.view = FleetView(router)
+            with router.view, serve_http(router, host=args.host,
+                                         port=args.port) as frontend:
                 host, port = frontend.address
                 pool = router.pool
                 budget_note = ""
@@ -575,7 +580,8 @@ def _cmd_fleet(args) -> int:
                       f"({args.replicas} replica(s) x {args.workers} "
                       f"worker(s){budget_note})")
                 print("endpoints: POST /infer, GET /healthz, GET /stats, "
-                      "GET /metrics" + (", GET /slo" if slo else ""))
+                      "GET /metrics, GET /fleetz"
+                      + (", GET /slo" if slo else ""))
                 if router.fault is not None:
                     print(f"fault armed: {router.fault.describe()}")
                 try:
@@ -619,18 +625,37 @@ def _cmd_loadgen(args) -> int:
             return 1
         backend = InferenceServer(plan, _server_config(args), slo=slo,
                                   memory_plan=mplan)
+    detect = args.detect_anomalies or args.fail_on_anomaly
+    anomalies: list[dict] = []
     with backend:
+        view = None
+        if detect:
+            # scrape fast so the rolling store sees the run as it
+            # happens — the detectors need in-flight history, not just
+            # the end-of-run totals
+            view = FleetView(backend, interval_s=0.2)
+            backend.view = view
+            view.start()
         report = run_loadgen(backend, config)
+        if view is not None:
+            view.scraper.scrape_once()  # final sample + detector pass
+            view.stop()
+            anomalies = [a.to_dict() for a in view.monitor.findings()]
         stats = backend.stats()
         if args.metrics_out:
             Path(args.metrics_out).write_text(backend.metrics_text())
             print(f"wrote Prometheus metrics to {args.metrics_out}",
                   file=sys.stderr)
-    # errors are always fatal; an unhealthy SLO is fatal when asked for
+    # errors are always fatal; an unhealthy SLO is fatal when asked
+    # for, and so are anomaly findings under --fail-on-anomaly
     rc = 1 if report.errors or not report.slo_ok else 0
+    if args.fail_on_anomaly and anomalies:
+        rc = 1
     if args.json:
         doc = report.to_dict()
         doc["server"] = stats
+        if detect:
+            doc["anomalies"] = anomalies
         print(json.dumps(doc, indent=2, sort_keys=True))
         return rc
     print(report.summary())
@@ -639,9 +664,113 @@ def _cmd_loadgen(args) -> int:
             if name.startswith(("serve.", "fleet.", "slo."))]
     print(format_table(["metric", "value"], rows,
                        title=f"{plan.name} server metrics"))
+    for a in anomalies:
+        print(f"anomaly [{a['severity']}] {a['kind']} {a['subject']}: "
+              f"{a['message']}")
     if rc and not report.slo_ok:
         print("\nSLO VIOLATED — failing (see the slo lines above)")
+    if args.fail_on_anomaly and anomalies:
+        print("\nANOMALY DETECTED — failing (--fail-on-anomaly)")
     return rc
+
+
+def _cmd_top(args) -> int:
+    """``repro top``: live dashboard over a serving fleet's /fleetz."""
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = args.url or f"http://{args.host}:{args.port}/fleetz"
+    once = args.once or args.json
+    color = sys.stdout.isatty() and not args.no_color
+
+    def fetch() -> dict:
+        with urlopen(url, timeout=args.timeout) as resp:
+            return json.loads(resp.read())
+
+    try:
+        while True:
+            try:
+                doc = fetch()
+            except (URLError, OSError, ValueError) as exc:
+                print(f"top: cannot fetch {url}: {exc}", file=sys.stderr)
+                return 1
+            if args.json:
+                print(json.dumps(doc, indent=1, sort_keys=True))
+            else:
+                if not once:
+                    # clear + home: full repaint each frame, no curses
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(render_dashboard(doc, color=color))
+                sys.stdout.flush()
+            if once:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_diag(args) -> int:
+    """``repro diag``: capture a diagnostic snapshot bundle in-process.
+
+    Builds the requested backend (single server, or a fleet with
+    ``--replicas``), drives a little traffic under a tracer so the
+    rolling store / histograms / stitched trace have content, then
+    tars up the whole observability surface via
+    :func:`repro.obs.write_diag_bundle`.
+    """
+    plan = _serve_plan(args)
+    slo = _slo_monitor(args)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        if args.replicas:
+            if getattr(args, "budget", None):
+                print("diag: use --host-budget (split across replicas) "
+                      "instead of --budget", file=sys.stderr)
+                return 2
+            try:
+                backend = _build_router(plan, args, replicas=args.replicas,
+                                        slo=slo)
+            except InfeasibleBudget as exc:
+                _print_infeasible("diag", plan, exc)
+                return 1
+        else:
+            ok, mplan = _serve_memory_plan(plan, args)
+            if not ok:
+                return 1
+            backend = InferenceServer(plan, _server_config(args), slo=slo,
+                                      memory_plan=mplan)
+        rng = np.random.default_rng(args.seed)
+        inputs = {v.name: rng.normal(size=v.shape).astype(v.dtype.np)
+                  for v in backend.graph.inputs}
+        with backend:
+            view = FleetView(backend, interval_s=0.1)
+            backend.view = view
+            with view:
+                # two waves with a gap so the scraper catches the
+                # counters mid-climb (a flat series rates as 0)
+                per_wave = max(1, args.requests // 2)
+                for wave in range(2):
+                    futures = [backend.submit(inputs)
+                               for _ in range(per_wave)]
+                    for f in futures:
+                        f.result()
+                    time.sleep(2.5 * view.interval_s)
+                members = write_diag_bundle(
+                    args.output, view=view,
+                    config={"command": "diag", "model": args.model,
+                            "replicas": args.replicas,
+                            "requests": args.requests,
+                            "workers": args.workers,
+                            "budget": getattr(args, "budget", None),
+                            "host_budget": getattr(args, "host_budget",
+                                                   None),
+                            "fault": getattr(args, "fault", None)},
+                    audit=args.audit)
+    print(f"wrote diag bundle to {args.output} "
+          f"({len(members)} members):")
+    for member in members:
+        print(f"  {member}")
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -1236,10 +1365,63 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="metrics_out", metavar="PATH",
                    help="write the end-of-run Prometheus text exposition "
                         "to PATH (scrape-equivalent of GET /metrics)")
+    p.add_argument("--detect-anomalies", action="store_true",
+                   dest="detect_anomalies",
+                   help="run the fleet anomaly detectors (latency "
+                        "regression, memory drift, drop spikes, replica "
+                        "outliers) over the run and report findings")
+    p.add_argument("--fail-on-anomaly", action="store_true",
+                   dest="fail_on_anomaly",
+                   help="exit non-zero when any anomaly fires (implies "
+                        "--detect-anomalies) — the CI outlier gate")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON (for scripts/CI)")
     obs_flags(p)
     p.set_defaults(fn=_obs_wrap(_cmd_loadgen))
+
+    p = sub.add_parser("top", help="live fleet dashboard: poll GET /fleetz "
+                                   "and repaint per-replica QPS/latency/"
+                                   "memory plus anomalies")
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="full /fleetz URL (overrides --host/--port)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8100,
+                   help="port the serve/fleet frontend listens on "
+                        "(default 8100)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh interval in seconds (default 1)")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-poll HTTP timeout in seconds (default 5)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit instead of repainting")
+    p.add_argument("--json", action="store_true",
+                   help="print one raw /fleetz document as JSON and exit "
+                        "(implies --once; for scripts/CI)")
+    p.add_argument("--no-color", action="store_true", dest="no_color",
+                   help="plain-text frames (no ANSI colors)")
+    p.set_defaults(fn=_cmd_top)
+
+    p = sub.add_parser("diag", help="capture a diagnostic snapshot bundle: "
+                                    "merged trace, time-series dump, "
+                                    "metrics, SLO state, anomalies, memory "
+                                    "plan, build info")
+    common(p)
+    serve_flags(p)
+    tune_flags(p, no_tune=False)
+    p.add_argument("--replicas", type=int, default=0, metavar="K",
+                   help="snapshot a K-replica fleet instead of a single "
+                        "server (default 0: single)")
+    fleet_flags(p)
+    p.add_argument("--requests", type=int, default=8,
+                   help="warm-up requests to drive before the snapshot "
+                        "(default 8)")
+    p.add_argument("--audit", action="store_true",
+                   help="with --budget: include a budgeted-run conformance "
+                        "audit in the bundle (runs the graph twice more)")
+    p.add_argument("-o", "--output", type=Path,
+                   default=Path("repro-diag.tar.gz"), metavar="PATH",
+                   help="bundle path (default repro-diag.tar.gz)")
+    p.set_defaults(fn=_cmd_diag)
 
     p = sub.add_parser("export", help="export DOT graph / CSV timeline / "
                                       "Markdown memory report")

@@ -105,20 +105,24 @@ class Replica:
         return (self.state == ReplicaState.READY
                 and self.server is not None and self.server.healthy())
 
-    def submit(self, inputs, *, deadline_s: float | None = None) -> ServeFuture:
+    def submit(self, inputs, *, deadline_s: float | None = None,
+               trace_id: str | None = None) -> ServeFuture:
         """Submit through this replica, honouring injected faults."""
         if self.stalled:
             # black hole: accepted, never resolved — the router's
             # hedging or attempt timeout rescues the request
             return ServeFuture(request_id=-1, samples=0)
         if self.slow_s > 0:
-            return self._submit_slowly(inputs, deadline_s=deadline_s)
+            return self._submit_slowly(inputs, deadline_s=deadline_s,
+                                       trace_id=trace_id)
         server = self.server
         if server is None:
             raise ServerClosed(f"replica {self.id} has no running server")
-        return server.submit(inputs, deadline_s=deadline_s)
+        return server.submit(inputs, deadline_s=deadline_s,
+                             trace_id=trace_id)
 
-    def _submit_slowly(self, inputs, *, deadline_s: float | None) -> ServeFuture:
+    def _submit_slowly(self, inputs, *, deadline_s: float | None,
+                       trace_id: str | None = None) -> ServeFuture:
         # a slow replica delays its *response*, not the caller's submit;
         # relaying through a proxy future keeps the router free to hedge
         # while this replica dawdles
@@ -133,7 +137,8 @@ class Replica:
                     f"replica {self.id} has no running server"))
                 return
             try:
-                inner = server.submit(inputs, deadline_s=deadline_s)
+                inner = server.submit(inputs, deadline_s=deadline_s,
+                                      trace_id=trace_id)
                 proxy._resolve(inner.result(None), delay + inner.latency_s)
             except ServeError as error:
                 proxy._reject(error)

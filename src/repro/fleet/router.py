@@ -387,7 +387,8 @@ class Router:
                 trace_id=future.trace_id, replica=replica.id,
                 attempt=future.attempts)
         try:
-            inner = replica.submit(inputs, deadline_s=deadline_s)
+            inner = replica.submit(inputs, deadline_s=deadline_s,
+                                   trace_id=future.trace_id)
         except ServeError as exc:
             self.pool.note_settle(replica)
             self.pool.record_failure(replica, _failure_reason(exc))
@@ -413,6 +414,7 @@ class Router:
                 if not attempt.future.done():
                     continue
                 pending.remove(attempt)
+                self._observe_attempt(attempt)
                 try:
                     outputs = attempt.future.result(0)
                 except ServeError as exc:
@@ -495,18 +497,36 @@ class Router:
                 error=type(error).__name__)
         future._reject(error)
 
+    def _observe_attempt(self, attempt: _Attempt) -> None:
+        """Per-replica attempt latency, router-side.
+
+        Measured from submission to settlement *as the router saw
+        it*, so a replica whose responses are delayed (the ``slow``
+        fault's proxy future, a saturated queue) shows up here even
+        when its own ``serve.latency_ms`` clock looks healthy — the
+        replica-outlier anomaly detector reads this family first.
+        """
+        self.metrics.observe(
+            f"fleet.attempt_ms.replica.{attempt.replica.id}",
+            (time.monotonic() - attempt.started_at) * 1e3)
+
     def _abandon(self, attempts: list[_Attempt]) -> None:
         """Hand lost/lapped attempts to reaper threads so their
         replicas' outstanding counts settle whenever (if ever) the
         inner futures resolve."""
         for attempt in attempts:
             def reap(a: _Attempt = attempt) -> None:
+                settled = True
                 try:
                     a.future.result(self.config.attempt_timeout_s)
+                except TimeoutError:
+                    settled = False  # never resolved: no latency to report
                 except Exception:  # noqa: BLE001 — outcome irrelevant
                     pass
                 finally:
                     self.pool.note_settle(a.replica)
+                    if settled:
+                        self._observe_attempt(a)
             threading.Thread(target=reap, name="repro-fleet-reaper",
                              daemon=True).start()
 

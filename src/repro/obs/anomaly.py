@@ -1,0 +1,318 @@
+"""Anomaly detection over the rolling time-series store.
+
+Pluggable detectors read a :class:`~repro.obs.TimeSeriesStore` and
+emit typed :class:`Anomaly` findings — the bridge from "metrics have
+history" to "an operator gets told something is wrong":
+
+- :class:`LatencyRegressionDetector` — the recent p95 of a latency
+  series vs its own trailing baseline window,
+- :class:`MemoryDriftDetector` — measured peak memory creeping toward
+  the budget, or diverging upward from the planner's promise,
+- :class:`DropSpikeDetector` — a burst of ``serve.dropped.reason.*``
+  in the recent window,
+- :class:`ReplicaOutlierDetector` — one replica's attempt/serve p95
+  far above the median of its peers (a slow or sick replica).
+
+:class:`AnomalyMonitor` runs a detector set, deduplicating nothing —
+each ``check`` reports the *current* state — while accumulating every
+distinct finding for the diagnostic bundle, incrementing
+``anomaly.kind.<kind>`` counters (rendered on ``/metrics`` as
+``repro_anomaly_total{kind=...}``), and emitting tracer instants so
+findings land on the event log next to the spans that explain them.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .metrics import MetricsRegistry
+from .timeseries import TimeSeriesStore
+from .tracer import Tracer
+
+__all__ = ["Anomaly", "AnomalyMonitor", "LatencyRegressionDetector",
+           "MemoryDriftDetector", "DropSpikeDetector",
+           "ReplicaOutlierDetector", "default_detectors", "replica_series"]
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One typed finding: what fired, on what, how bad.
+
+    ``kind`` is the stable machine name (``latency-regression``,
+    ``memory-drift``, ``drop-spike``, ``replica-outlier``);
+    ``severity`` is ``warning`` or ``critical``; ``subject`` names the
+    offending series or replica; ``value``/``threshold`` carry the
+    numbers that tripped the rule so the finding is auditable after
+    the fact.
+    """
+
+    kind: str
+    severity: str
+    subject: str
+    message: str
+    value: float
+    threshold: float
+    at: float
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "severity": self.severity,
+                "subject": self.subject, "message": self.message,
+                "value": self.value, "threshold": self.threshold,
+                "at": self.at}
+
+
+def replica_series(store: TimeSeriesStore, base: str,
+                   stat: str) -> dict[str, str]:
+    """Map replica id -> series name for per-replica flattened stats.
+
+    Per-replica series land in the store under two naming shapes:
+    router-side histograms flatten as ``{base}.replica.{id}.{stat}``
+    (``fleet.attempt_ms.replica.0.p95``) while replica-server stats
+    merged with a replica suffix appear as ``{base}.{stat}.replica.{id}``
+    (``serve.latency_ms.p95.replica.0``).  Detectors accept both.
+    """
+    out: dict[str, str] = {}
+    for name in store.names(f"{base}.replica."):
+        rest = name[len(base) + len(".replica."):]
+        rid, sep, tail = rest.partition(".")
+        if sep and tail == stat:
+            out[rid] = name
+    for name in store.names(f"{base}.{stat}.replica."):
+        rid = name[len(base) + len(stat) + len(".replica.") + 1:]
+        if rid and "." not in rid:
+            out.setdefault(rid, name)
+    return out
+
+
+@dataclass
+class LatencyRegressionDetector:
+    """Recent p95 of a latency series vs its own trailing baseline.
+
+    Compares the mean of the series over the last ``recent_s`` against
+    the mean over the preceding ``baseline_s``; fires when recent is
+    both ``factor``x the baseline and at least ``min_ms`` absolute —
+    the floor keeps microsecond noise on a fast model from paging
+    anyone.
+    """
+
+    series: Sequence[str] = ("serve.latency_ms.p95", "fleet.latency_ms.p95")
+    recent_s: float = 5.0
+    baseline_s: float = 30.0
+    factor: float = 2.0
+    min_ms: float = 5.0
+
+    def check(self, store: TimeSeriesStore) -> list[Anomaly]:
+        now = store.clock()
+        findings = []
+        for name in self.series:
+            window = store.window(name, self.recent_s + self.baseline_s,
+                                  now=now)
+            split = now - self.recent_s
+            recent = [v for t, v in window if t >= split]
+            baseline = [v for t, v in window if t < split]
+            if len(recent) < 2 or len(baseline) < 4:
+                continue
+            recent_mean = sum(recent) / len(recent)
+            base_mean = sum(baseline) / len(baseline)
+            threshold = max(base_mean * self.factor, self.min_ms)
+            if recent_mean > threshold:
+                findings.append(Anomaly(
+                    kind="latency-regression", severity="warning",
+                    subject=name,
+                    message=(f"{name} p95 {recent_mean:.2f} ms over the last "
+                             f"{self.recent_s:g}s vs trailing baseline "
+                             f"{base_mean:.2f} ms"),
+                    value=recent_mean, threshold=threshold, at=now))
+        return findings
+
+
+@dataclass
+class MemoryDriftDetector:
+    """Measured peak creeping toward the budget or past the plan.
+
+    Two rules over the latest samples: measured peak above
+    ``watermark`` of the budget is *critical* (the next admission
+    spike can breach it), and measured peak above the planned peak by
+    more than ``plan_tolerance`` is a *warning* (the byte-exact
+    planner promise no longer holds — exactly the drift TeMCO-style
+    memory claims die by).  Series names accept an optional
+    per-replica suffix.
+    """
+
+    watermark: float = 0.9
+    plan_tolerance: float = 0.05
+
+    def check(self, store: TimeSeriesStore) -> list[Anomaly]:
+        now = store.clock()
+        findings = []
+        subjects = {""}
+        for name in store.names("serve.measured_peak_bytes"):
+            subjects.add(name[len("serve.measured_peak_bytes"):])
+        for suffix in sorted(subjects):
+            measured = store.latest(f"serve.measured_peak_bytes{suffix}")
+            if measured <= 0:
+                continue
+            budget = store.latest(f"plan.budget_bytes{suffix}")
+            planned = store.latest(f"plan.planned_peak_bytes{suffix}")
+            subject = suffix.lstrip(".") or "server"
+            if budget > 0 and measured > budget * self.watermark:
+                findings.append(Anomaly(
+                    kind="memory-drift", severity="critical",
+                    subject=subject,
+                    message=(f"measured peak {measured:.0f} B is past "
+                             f"{self.watermark:.0%} of the "
+                             f"{budget:.0f} B budget"),
+                    value=measured, threshold=budget * self.watermark,
+                    at=now))
+            elif planned > 0 and measured > planned * (1 + self.plan_tolerance):
+                findings.append(Anomaly(
+                    kind="memory-drift", severity="warning",
+                    subject=subject,
+                    message=(f"measured peak {measured:.0f} B exceeds the "
+                             f"planned peak {planned:.0f} B by more than "
+                             f"{self.plan_tolerance:.0%}"),
+                    value=measured,
+                    threshold=planned * (1 + self.plan_tolerance), at=now))
+        return findings
+
+
+@dataclass
+class DropSpikeDetector:
+    """A burst of dropped requests in the recent window.
+
+    Watches every ``serve.dropped.reason.*`` / ``fleet.*.reason.*``
+    counter series and fires when one grew by at least ``min_drops``
+    within ``window_s``.
+    """
+
+    window_s: float = 5.0
+    min_drops: float = 3.0
+    prefixes: Sequence[str] = ("serve.dropped.reason.",
+                               "fleet.failed",)
+
+    def check(self, store: TimeSeriesStore) -> list[Anomaly]:
+        now = store.clock()
+        findings = []
+        names: list[str] = []
+        for prefix in self.prefixes:
+            names.extend(store.names(prefix))
+        for name in sorted(set(names)):
+            grew = store.delta(name, self.window_s, now=now)
+            if grew >= self.min_drops:
+                findings.append(Anomaly(
+                    kind="drop-spike", severity="warning", subject=name,
+                    message=(f"{name} grew by {grew:g} in the last "
+                             f"{self.window_s:g}s"),
+                    value=grew, threshold=self.min_drops, at=now))
+        return findings
+
+
+@dataclass
+class ReplicaOutlierDetector:
+    """One replica's p95 far above the median of its peers.
+
+    For each latency base (router-side ``fleet.attempt_ms`` sees
+    response-proxy slowness the replica's own clock cannot), compares
+    every replica's latest p95 against the *median of the other
+    replicas'* p95s — so with two replicas the sick one is judged
+    against the healthy one, not against a median it drags up itself.
+    Needs live data from at least two replicas.
+    """
+
+    bases: Sequence[str] = ("fleet.attempt_ms", "serve.latency_ms")
+    stat: str = "p95"
+    factor: float = 2.0
+    min_ms: float = 5.0
+
+    def check(self, store: TimeSeriesStore) -> list[Anomaly]:
+        now = store.clock()
+        findings = []
+        flagged: set[str] = set()
+        for base in self.bases:
+            by_replica = replica_series(store, base, self.stat)
+            values = {rid: store.latest(name)
+                      for rid, name in by_replica.items()}
+            values = {rid: v for rid, v in values.items() if v > 0}
+            if len(values) < 2:
+                continue
+            for rid, value in sorted(values.items()):
+                if rid in flagged:
+                    continue
+                peers = [v for peer, v in values.items() if peer != rid]
+                peer_median = statistics.median(peers)
+                threshold = max(peer_median * self.factor, self.min_ms)
+                if value > threshold:
+                    flagged.add(rid)
+                    findings.append(Anomaly(
+                        kind="replica-outlier", severity="warning",
+                        subject=f"replica.{rid}",
+                        message=(f"replica {rid} {base} {self.stat} "
+                                 f"{value:.2f} ms vs peer median "
+                                 f"{peer_median:.2f} ms"),
+                        value=value, threshold=threshold, at=now))
+        return findings
+
+
+def default_detectors() -> list:
+    """The standard detector set the fleet view installs."""
+    return [LatencyRegressionDetector(), MemoryDriftDetector(),
+            DropSpikeDetector(), ReplicaOutlierDetector()]
+
+
+class AnomalyMonitor:
+    """Run a detector set over a store; record and expose findings.
+
+    ``check()`` returns the findings *current* at that instant; the
+    monitor also keeps every distinct finding ever seen (keyed by
+    ``(kind, subject, severity)`` with the latest numbers) for the
+    ``repro diag`` bundle, bumps ``anomaly.kind.<kind>`` counters in
+    the attached registry on each new firing, and emits ``anomaly``
+    instants on the attached tracer.
+    """
+
+    def __init__(self, store: TimeSeriesStore,
+                 detectors: Iterable | None = None, *,
+                 registry: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.store = store
+        self.detectors = list(detectors) if detectors is not None \
+            else default_detectors()
+        self.registry = registry
+        self.tracer = tracer
+        self.checks = 0
+        self._findings: dict[tuple[str, str, str], Anomaly] = {}
+        self._lock = threading.Lock()
+
+    def check(self) -> list[Anomaly]:
+        current: list[Anomaly] = []
+        for detector in self.detectors:
+            try:
+                current.extend(detector.check(self.store))
+            except Exception:
+                if self.registry is not None:
+                    self.registry.inc("anomaly.detector_errors")
+        with self._lock:
+            self.checks += 1
+            for finding in current:
+                key = (finding.kind, finding.subject, finding.severity)
+                fresh = key not in self._findings
+                self._findings[key] = finding
+                if fresh:
+                    if self.registry is not None:
+                        self.registry.inc(f"anomaly.kind.{finding.kind}")
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "anomaly", kind=finding.kind,
+                            severity=finding.severity,
+                            subject=finding.subject,
+                            message=finding.message)
+        return current
+
+    def findings(self) -> list[Anomaly]:
+        """Every distinct finding seen so far (latest numbers)."""
+        with self._lock:
+            return sorted(self._findings.values(),
+                          key=lambda a: (a.kind, a.subject))

@@ -1,0 +1,118 @@
+"""``repro top``: ANSI terminal rendering of one fleet-doc frame.
+
+Pure formatting — :func:`render_dashboard` turns the dict
+:meth:`~repro.obs.FleetView.fleet_doc` produces (the ``GET /fleetz``
+body) into a fixed-width frame.  No curses dependency: the CLI
+repaints by emitting a clear-screen escape between frames, and
+``--once`` / ``--json`` bypass the escapes entirely for scripts and
+CI assertions.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_dashboard", "format_bytes_short"]
+
+#: ANSI escapes (suppressed with color=False)
+_RESET = "\x1b[0m"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RED = "\x1b[31m"
+_YELLOW = "\x1b[33m"
+_GREEN = "\x1b[32m"
+
+_SEVERITY_COLOR = {"critical": _RED, "warning": _YELLOW}
+
+
+def format_bytes_short(n: float) -> str:
+    """1536 -> '1.5K' (dashboard cells are narrow)."""
+    n = float(n)
+    for unit in ("", "K", "M", "G", "T"):
+        if abs(n) < 1024 or unit == "T":
+            return f"{n:.0f}{unit}" if unit == "" or abs(n) >= 10 \
+                else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.0f}T"
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    return f"{code}{text}{_RESET}" if color else text
+
+
+def render_dashboard(doc: dict, *, color: bool = True) -> str:
+    """One frame of ``repro top`` from a fleet doc."""
+    lines: list[str] = []
+    fleet = doc.get("fleet", {})
+    status = doc.get("status", "?")
+    status_color = _GREEN if status == "ok" else _RED
+    lat = fleet.get("latency_ms", {})
+    lines.append(" ".join([
+        _paint(f"repro top — {doc.get('model', '?')}", _BOLD, color),
+        f"v{doc.get('version', '?')}",
+        _paint(status, status_color, color),
+        f"up {doc.get('uptime_s', 0.0):.0f}s",
+    ]))
+    lines.append(
+        f"fleet: {fleet.get('ready', 0)}/{fleet.get('replicas', 0)} ready | "
+        f"{fleet.get('qps', 0.0):.1f} req/s | "
+        f"p50 {lat.get('p50', 0.0):.1f} ms | "
+        f"p95 {lat.get('p95', 0.0):.1f} ms | "
+        f"p99 {lat.get('p99', 0.0):.1f} ms | "
+        f"in-flight {fleet.get('in_flight', 0):g} | "
+        f"hedges {fleet.get('hedges', 0):g} | "
+        f"retries {fleet.get('retries', 0):g}")
+    lines.append("")
+    header = (f"{'id':>3} {'state':<9} {'gen':>3} {'qps':>7} {'p50ms':>8} "
+              f"{'p95ms':>8} {'p99ms':>8} {'queue':>5} {'drops':>5} "
+              f"{'peak':>7} {'plan':>7} {'budget':>7} {'spill/s':>8}")
+    lines.append(_paint(header, _DIM, color))
+    for replica in doc.get("replicas", []):
+        rlat = replica.get("latency_ms", {})
+        drops = sum(replica.get("drops", {}).values())
+        row = (f"{replica.get('id', '?'):>3} "
+               f"{replica.get('state', '?'):<9} "
+               f"{replica.get('generation', 0):>3} "
+               f"{replica.get('qps', 0.0):>7.1f} "
+               f"{rlat.get('p50', 0.0):>8.2f} "
+               f"{rlat.get('p95', 0.0):>8.2f} "
+               f"{rlat.get('p99', 0.0):>8.2f} "
+               f"{replica.get('queue_depth', 0):>5g} "
+               f"{drops:>5g} "
+               f"{format_bytes_short(replica.get('measured_peak_bytes', 0)):>7} "
+               f"{format_bytes_short(replica.get('planned_peak_bytes', 0)):>7} "
+               f"{format_bytes_short(replica.get('budget_bytes', 0)):>7} "
+               f"{replica.get('spill_rate', 0.0):>8.1f}")
+        if replica.get("state") != "ready":
+            row = _paint(row, _YELLOW, color)
+        lines.append(row)
+    slo = doc.get("slo", [])
+    if slo:
+        lines.append("")
+        for status_doc in slo:
+            healthy = status_doc.get("healthy", True)
+            mark = _paint("ok", _GREEN, color) if healthy \
+                else _paint("BURNING", _RED, color)
+            lines.append(
+                f"slo {status_doc.get('name', '?'):<18} {mark}  "
+                f"good {status_doc.get('good_ratio', 0.0):.4f} "
+                f"target {status_doc.get('target', 0.0):.4f}  "
+                f"burn {status_doc.get('burn_rate', 0.0):.2f}x  "
+                f"budget left {status_doc.get('budget_remaining', 0.0):.0%}")
+    anomalies = doc.get("anomalies", [])
+    lines.append("")
+    if anomalies:
+        lines.append(_paint(f"anomalies ({len(anomalies)}):", _BOLD, color))
+        for finding in anomalies:
+            severity = finding.get("severity", "warning")
+            code = _SEVERITY_COLOR.get(severity, _YELLOW)
+            lines.append("  " + _paint(
+                f"[{severity}] {finding.get('kind', '?')} "
+                f"{finding.get('subject', '')}: "
+                f"{finding.get('message', '')}", code, color))
+    else:
+        lines.append(_paint("no anomalies", _DIM, color))
+    ts = doc.get("ts", {})
+    lines.append(_paint(
+        f"{ts.get('series', 0)} series, {ts.get('scrapes', 0)} scrapes "
+        f"({ts.get('scrape_errors', 0)} errors), window "
+        f"{ts.get('window_s', 0):g}s", _DIM, color))
+    return "\n".join(lines)

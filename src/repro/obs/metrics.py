@@ -115,6 +115,51 @@ class Histogram:
             out[label] = self.quantile(q)
         return out
 
+    def copy(self) -> "Histogram":
+        """An independent clone (same capacity, samples, exact stats)."""
+        clone = Histogram(self._max_samples)
+        clone.count = self.count
+        clone.total = self.total
+        clone.min = self.min
+        clone.max = self.max
+        clone._samples = list(self._samples)
+        return clone
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s distribution into this one, in place.
+
+        Exact statistics (count, sum, min, max) add exactly; the
+        reservoirs concatenate, and when the union exceeds this
+        histogram's capacity each side keeps a share proportional to
+        the observation count it stands for (so a 10k-observation
+        replica outweighs a 100-observation one in the merged
+        quantiles).  Only reads ``other`` — merging one source into
+        several targets is safe.  Returns ``self`` for chaining.
+        """
+        if other is self:
+            raise ValueError("cannot merge a histogram into itself")
+        if not other.count:
+            return self
+        new_count = self.count + other.count
+        keep = len(self._samples) + len(other._samples)
+        if keep <= self._max_samples:
+            self._samples.extend(other._samples)
+        else:
+            take_self = min(len(self._samples),
+                            round(self._max_samples * self.count / new_count))
+            take_other = min(len(other._samples),
+                             self._max_samples - take_self)
+            take_self = min(len(self._samples),
+                            self._max_samples - take_other)
+            self._samples = (
+                self._rng.sample(self._samples, take_self)
+                + self._rng.sample(other._samples, take_other))
+        self.count = new_count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
 
 @dataclass
 class MetricsRegistry:
@@ -180,6 +225,53 @@ class MetricsRegistry:
             return (dict(self.counters), dict(self.gauges),
                     {name: hist.snapshot()
                      for name, hist in self.histograms.items()})
+
+    def merge(self, other: "MetricsRegistry", *,
+              label: str | None = None) -> "MetricsRegistry":
+        """Fold another registry's state into this one.
+
+        Counters add, gauges last-write-win, histograms fold via
+        :meth:`Histogram.merge`.  With ``label`` (a dotted
+        ``key.value`` pair such as ``"replica.0"``), counters and
+        histograms are *additionally* recorded under
+        ``{name}.{label}`` and gauges move entirely to the labeled
+        name — so a fleet roll-up keeps both the aggregate and the
+        per-replica breakdown, and the Prometheus exposition renders
+        the labeled copies as ``{key="value"}`` families.
+
+        ``other`` is only read (one consistent copy is taken under its
+        lock), so one replica registry can be merged into several
+        targets.  Returns ``self`` for chaining.
+        """
+        if other is self:
+            raise ValueError("cannot merge a registry into itself")
+        with other._lock:
+            counters = dict(other.counters)
+            gauges = dict(other.gauges)
+            histograms = {name: hist.copy()
+                          for name, hist in other.histograms.items()}
+        with self._lock:
+            for name, value in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+                if label:
+                    key = f"{name}.{label}"
+                    self.counters[key] = self.counters.get(key, 0) + value
+            for name, value in gauges.items():
+                self.gauges[f"{name}.{label}" if label else name] = value
+            for name, hist in histograms.items():
+                into = self.histograms.get(name)
+                if into is None:
+                    self.histograms[name] = hist
+                else:
+                    into.merge(hist)
+                if label:
+                    key = f"{name}.{label}"
+                    labeled = self.histograms.get(key)
+                    if labeled is None:
+                        self.histograms[key] = hist.copy()
+                    else:
+                        labeled.merge(hist)
+        return self
 
     def clear(self) -> None:
         with self._lock:

@@ -51,7 +51,26 @@ _QUANTILE_KEYS = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
 
 #: dotted-name segments that collapse into Prometheus labels:
 #: ``<base>.<key>.<value>`` renders as ``<base>{<key>="<value>"}``
-LABEL_KEYS = ("reason", "replica")
+LABEL_KEYS = ("reason", "replica", "kind")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote and newline must be ``\\\\``, ``\\"`` and ``\\n`` —
+    drop-reason strings and version tags can carry any of them."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _split_labeled(name: str) -> tuple[str, str, str] | None:
+    """``{base}.{key}.{value}`` -> ``(base, key, value)`` for the keys
+    in :data:`LABEL_KEYS` (first matching key wins, so one family
+    carries one label); ``None`` for plain names."""
+    for key in LABEL_KEYS:
+        base, sep, label_value = name.partition(f".{key}.")
+        if sep and label_value:
+            return base, key, label_value
+    return None
 
 
 def _partition_labeled(metrics: dict[str, float]) -> tuple[
@@ -59,18 +78,15 @@ def _partition_labeled(metrics: dict[str, float]) -> tuple[
     """Split ``{base}.{label}.{value}``-named metrics from plain ones.
 
     Returns ``(plain, labeled)`` where ``labeled`` maps ``(base,
-    label_key)`` to ``{label_value: metric_value}``.  Only the label
-    keys in :data:`LABEL_KEYS` participate; the first matching key
-    wins, so one family carries one label.
+    label_key)`` to ``{label_value: metric_value}``.
     """
     plain: dict[str, float] = {}
     labeled: dict[tuple[str, str], dict[str, float]] = {}
     for name, value in metrics.items():
-        for key in LABEL_KEYS:
-            base, sep, label_value = name.partition(f".{key}.")
-            if sep and label_value:
-                labeled.setdefault((base, key), {})[label_value] = value
-                break
+        split = _split_labeled(name)
+        if split is not None:
+            base, key, label_value = split
+            labeled.setdefault((base, key), {})[label_value] = value
         else:
             plain[name] = value
     return plain, labeled
@@ -115,7 +131,8 @@ def prometheus_text(registry: MetricsRegistry, *, namespace: str = "repro",
         lines.append(f"# HELP {metric} Package version serving this "
                      f"endpoint (constant 1; the label carries the value).")
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f'{metric}{{version="{build_info}"}} 1')
+        lines.append(
+            f'{metric}{{version="{_escape_label_value(build_info)}"}} 1')
 
     plain, labeled = _partition_labeled(counters)
 
@@ -137,7 +154,7 @@ def prometheus_text(registry: MetricsRegistry, *, namespace: str = "repro",
                      f"metrics registry, labeled by {key}.")
         lines.append(f"# TYPE {metric} counter")
         for value in sorted(family):
-            lines.append(f'{metric}{{{key}="{value}"}} '
+            lines.append(f'{metric}{{{key}="{_escape_label_value(value)}"}} '
                          f"{_num(family[value])}")
 
     plain_gauges, labeled_gauges = _partition_labeled(gauges)
@@ -156,11 +173,21 @@ def prometheus_text(registry: MetricsRegistry, *, namespace: str = "repro",
                      f"metrics registry, labeled by {key}.")
         lines.append(f"# TYPE {metric} gauge")
         for value in sorted(family):
-            lines.append(f'{metric}{{{key}="{value}"}} '
+            lines.append(f'{metric}{{{key}="{_escape_label_value(value)}"}} '
                          f"{_num(family[value])}")
 
-    for name in sorted(histograms):
-        snap = histograms[name]
+    plain_hists: dict[str, dict[str, float]] = {}
+    labeled_hists: dict[tuple[str, str], dict[str, dict[str, float]]] = {}
+    for name, snap in histograms.items():
+        split = _split_labeled(name)
+        if split is not None:
+            base, key, label_value = split
+            labeled_hists.setdefault((base, key), {})[label_value] = snap
+        else:
+            plain_hists[name] = snap
+
+    for name in sorted(plain_hists):
+        snap = plain_hists[name]
         metric = prometheus_metric_name(name, namespace)
         lines.append(f"# HELP {metric} Distribution {name!r} from the "
                      f"repro metrics registry (reservoir quantiles).")
@@ -173,5 +200,20 @@ def prometheus_text(registry: MetricsRegistry, *, namespace: str = "repro",
         for stat in ("min", "max"):
             lines.append(f"# TYPE {metric}_{stat} gauge")
             lines.append(f"{metric}_{stat} {_num(snap[stat])}")
+
+    for base, label_key in sorted(labeled_hists):
+        family = labeled_hists[(base, label_key)]
+        metric = prometheus_metric_name(base, namespace)
+        lines.append(f"# HELP {metric} Distribution {base!r} from the "
+                     f"repro metrics registry, labeled by {label_key}.")
+        lines.append(f"# TYPE {metric} summary")
+        for label_value in sorted(family):
+            snap = family[label_value]
+            tag = f'{label_key}="{_escape_label_value(label_value)}"'
+            for key, quantile in _QUANTILE_KEYS:
+                lines.append(f'{metric}{{{tag},quantile="{quantile}"}} '
+                             f"{_num(snap[key])}")
+            lines.append(f"{metric}_sum{{{tag}}} {_num(snap['sum'])}")
+            lines.append(f"{metric}_count{{{tag}}} {_num(snap['count'])}")
 
     return "\n".join(lines) + "\n"

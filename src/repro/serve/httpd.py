@@ -19,6 +19,10 @@ the standard library (the repo's no-new-deps rule):
   :mod:`repro.obs.prometheus` and ``docs/serving.md``,
 - ``GET /slo`` — the attached :class:`~repro.obs.SLOMonitor`'s
   objectives evaluated now, as JSON (404 when the server has none),
+- ``GET /fleetz`` — the merged fleet-observability document (per-
+  replica QPS/latency/queue/memory, anomalies, SLO burn) from the
+  attached :class:`~repro.obs.FleetView` (404 when none is attached);
+  the ``repro top`` dashboard polls this,
 - ``POST /infer`` — body ``{"inputs": {name: nested-list}, optional
   "deadline_ms": float}``; replies ``{"outputs": {...},
   "latency_ms": float}``.  Overload maps to **429**, an expired
@@ -94,6 +98,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, {
                     "slo": statuses,
                     "healthy": all(s["healthy"] for s in statuses)})
+        elif self.path == "/fleetz":
+            view = getattr(server, "view", None)
+            if view is None:
+                self._reply(404, {"error": "no fleet view attached "
+                                           "(serve with observability on)"})
+            else:
+                self._reply(200, view.fleet_doc())
         else:
             self._reply(404, {"error": f"no such endpoint {self.path!r}"})
 

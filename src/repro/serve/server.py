@@ -354,12 +354,17 @@ class InferenceServer:
     # -- admission -----------------------------------------------------
 
     def submit(self, inputs: dict[str, np.ndarray] | np.ndarray, *,
-               deadline_s: float | None = None) -> ServeFuture:
+               deadline_s: float | None = None,
+               trace_id: str | None = None) -> ServeFuture:
         """Admit one request; returns its :class:`ServeFuture`.
 
         Raises :class:`Overloaded` when the admission queue is at
         ``max_queue`` (the request is *not* enqueued) and
-        :class:`ServerClosed` after :meth:`close`.
+        :class:`ServerClosed` after :meth:`close`.  ``trace_id`` lets
+        an upstream router propagate the id it assigned at fleet
+        admission, so one request's spans correlate across the router
+        and every replica it was attempted on; without one, the
+        server assigns a fresh id.
         """
         if isinstance(inputs, np.ndarray):
             if len(self.graph.inputs) != 1:
@@ -371,7 +376,8 @@ class InferenceServer:
             deadline_s = self.config.default_deadline_s
         now = time.monotonic()
         request_id = next(self._ids)
-        trace_id = new_trace_id()
+        if trace_id is None:
+            trace_id = new_trace_id()
         tracing = self.tracer.enabled
         admitted_us = self.tracer.now_us() if tracing else 0.0
         request = _Request(
@@ -557,6 +563,7 @@ class InferenceServer:
                 result = session.run(shard.inputs, tracer=run_tracer)
                 outputs = result.outputs
                 self.metrics.inc("serve.batches")
+                self._record_measured_peak(result.memory)
                 self.metrics.inc("serve.padded_samples", shard.padding)
                 self._record_plan_stats(result.memory.plan_stats)
                 now = time.monotonic()
@@ -578,6 +585,21 @@ class InferenceServer:
                     if (request.deadline_at is not None
                             and now > request.deadline_at):
                         self.metrics.inc("serve.late_completions")
+
+    def _record_measured_peak(self, memory) -> None:
+        """Running max of the measured per-batch internal-tensor peak
+        (``serve.measured_peak_bytes``).  Next to the
+        ``plan.planned_peak_bytes`` / ``plan.budget_bytes`` gauges,
+        this is the planned-vs-measured drift signal the memory-drift
+        anomaly detector and the ``repro top`` dashboard watch."""
+        peak = float(getattr(memory, "peak_internal_bytes", 0) or 0)
+        if peak <= 0:
+            return
+        # read-modify-write under the server lock so two workers can't
+        # interleave and regress the running max
+        with self._lock:
+            if peak > self.metrics.get("serve.measured_peak_bytes", 0.0):
+                self.metrics.gauge("serve.measured_peak_bytes", peak)
 
     def _record_plan_stats(self, stats) -> None:
         """Merge one budgeted run's spill/remat counters into the

@@ -1,0 +1,166 @@
+"""FleetView: merged snapshots, fleet doc, stitched traces, /fleetz."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from repro.fleet import FaultPolicy, RouterConfig
+from repro.obs import FleetView, Tracer, render_dashboard, use_tracer
+from repro.serve import InferenceServer, ServerConfig, serve_http
+
+from _graph_fixtures import make_chain_graph
+from test_fleet_router import _fleet, _payload
+
+
+def _drive(backend, n=6, seed0=0):
+    for i in range(n):
+        backend.infer(_payload(backend.graph, seed=seed0 + i), timeout=30.0)
+
+
+class TestSnapshot:
+    def test_replica_stats_suffixed(self):
+        with _fleet(replicas=2) as fleet:
+            _drive(fleet, 4)
+            view = FleetView(fleet)
+            snap = view.snapshot()
+            assert snap["fleet.completed"] == 4
+            # per-replica serve counters carry the .replica.<id> suffix;
+            # a hedge can complete a request on both replicas, so the
+            # replica total may exceed the fleet total
+            per_replica = [snap.get(f"serve.completed.replica.{r}", 0.0)
+                           for r in (0, 1)]
+            assert sum(per_replica) >= 4
+
+    def test_single_server_backend_is_pseudo_replica(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            _drive(server, 1)  # counters exist only after the first inc
+            view = FleetView(server)
+            snap = view.snapshot()
+            # a lone server: its own stats, no replica suffixes
+            assert snap["serve.completed"] == 1
+            assert not any(".replica." in k for k in snap)
+            doc = view.fleet_doc()
+            assert [r["id"] for r in doc["replicas"]] == [0]
+
+
+class TestMergedRegistry:
+    def test_replica_families_labeled(self):
+        with _fleet(replicas=2) as fleet:
+            _drive(fleet, 4)
+            merged = FleetView(fleet).merged_registry()
+            snap = merged.snapshot()
+            assert snap["fleet.completed"] == 4
+            total = snap["serve.completed"]  # aggregate across replicas
+            labeled = sum(snap.get(f"serve.completed.replica.{r}", 0.0)
+                          for r in (0, 1))
+            assert total == labeled == 4
+
+    def test_attaching_a_view_never_changes_outputs(self):
+        g = make_chain_graph(batch=4)
+        payloads = [_payload(g, seed=i) for i in range(5)]
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as single:
+            expected = [single.infer(p, timeout=30.0) for p in payloads]
+        with _fleet(replicas=2, graph=g) as fleet:
+            with FleetView(fleet, interval_s=0.02):
+                for payload, reference in zip(payloads, expected):
+                    outputs = fleet.infer(payload, timeout=30.0)
+                    for name in outputs:
+                        assert np.array_equal(outputs[name], reference[name])
+
+
+class TestFleetDoc:
+    def test_doc_shape_and_per_replica_fields(self):
+        with _fleet(replicas=2) as fleet:
+            _drive(fleet, 6)
+            view = FleetView(fleet)
+            doc = view.fleet_doc()
+            assert doc["model"] == fleet.graph.name
+            assert doc["fleet"]["replicas"] == 2
+            assert doc["fleet"]["completed"] == 6
+            assert len(doc["replicas"]) == 2
+            for replica in doc["replicas"]:
+                assert {"id", "state", "qps", "latency_ms", "queue_depth",
+                        "planned_peak_bytes", "measured_peak_bytes",
+                        "attempt_p95_ms"} <= set(replica)
+            assert doc["anomalies"] == []
+            assert doc["ts"]["series"] > 0
+
+    def test_doc_renders_as_dashboard(self):
+        with _fleet(replicas=2) as fleet:
+            _drive(fleet, 3)
+            doc = FleetView(fleet).fleet_doc()
+        frame = render_dashboard(doc, color=False)
+        assert fleet.graph.name in frame
+        assert "replica" in frame or " id " in frame
+        colored = render_dashboard(doc, color=True)
+        assert "\x1b[" in colored
+
+    def test_measured_peak_reported(self):
+        with _fleet(replicas=2) as fleet:
+            _drive(fleet, 4)
+            doc = FleetView(fleet).fleet_doc()
+            served = [r for r in doc["replicas"] if r["completed"] > 0]
+            assert served
+            assert all(r["measured_peak_bytes"] > 0 for r in served)
+
+
+class TestStitchedTrace:
+    def test_replica_rows_and_cross_replica_flows(self):
+        tracer = Tracer()
+        fault = FaultPolicy(replica=0, kind="slow", after=1, slow_s=0.25)
+        config = RouterConfig(hedge_delay_s=0.02, attempt_timeout_s=10.0)
+        with use_tracer(tracer):
+            fleet = _fleet(replicas=2, fault=fault, router=config)
+        with fleet:
+            _drive(fleet, 6)
+            view = FleetView(fleet)
+            trace = view.stitched_trace()
+        assert trace is not None
+        events = trace["traceEvents"]
+        rows = {e["args"]["name"] for e in events
+                if e.get("name") == "thread_name"}
+        assert "fleet" in rows
+        assert any(r.startswith("replica-") for r in rows)
+        # the slow fault forces hedges: those requests touch two
+        # replicas and get stitched with flow arrows
+        flows = [e for e in events if e.get("ph") in ("s", "f")
+                 and e.get("name") == "fleet.cross_replica"]
+        assert flows, "hedged requests must produce cross-replica arrows"
+        starts = sum(1 for e in flows if e["ph"] == "s")
+        finishes = sum(1 for e in flows if e["ph"] == "f")
+        assert starts == finishes > 0
+
+    def test_untraced_backend_has_no_stitched_trace(self):
+        with _fleet(replicas=2) as fleet:
+            assert FleetView(fleet).stitched_trace() is None
+
+
+class TestFleetzEndpoint:
+    def _get(self, port, path):
+        req = urllib.request.Request(f"http://127.0.0.1:{port}{path}")
+        try:
+            with urllib.request.urlopen(req, timeout=10.0) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def test_fleetz_serves_the_doc(self):
+        with _fleet(replicas=2) as fleet:
+            _drive(fleet, 3)
+            fleet.view = FleetView(fleet)
+            with serve_http(fleet, port=0) as frontend:
+                status, doc = self._get(frontend.address[1], "/fleetz")
+        assert status == 200
+        assert doc["fleet"]["completed"] == 3
+        assert len(doc["replicas"]) == 2
+
+    def test_fleetz_404_without_a_view(self):
+        g = make_chain_graph(batch=4)
+        with InferenceServer(g, ServerConfig(max_wait_s=0.0)) as server:
+            with serve_http(server, port=0) as frontend:
+                status, doc = self._get(frontend.address[1], "/fleetz")
+        assert status == 404
+        assert "fleet view" in doc["error"]

@@ -135,3 +135,69 @@ class TestDottedLabels:
         type_lines = [line for line in text.splitlines()
                       if line.startswith("# TYPE repro_fleet_retries_total")]
         assert len(type_lines) == 1
+
+    def test_anomaly_kind_counters_collapse_to_kind_label(self):
+        m = MetricsRegistry()
+        m.inc("anomaly.kind.replica-outlier")
+        m.inc("anomaly.kind.drop-spike", 2)
+        samples = parse_exposition(prometheus_text(m))
+        assert samples[("repro_anomaly_total",
+                        '{kind="replica-outlier"}')] == 1.0
+        assert samples[("repro_anomaly_total",
+                        '{kind="drop-spike"}')] == 2.0
+
+    def test_labeled_summaries_render_per_replica(self):
+        m = MetricsRegistry()
+        for v in (5.0, 15.0):
+            m.observe("serve.latency_ms.replica.0", v)
+        m.observe("serve.latency_ms.replica.1", 40.0)
+        samples = parse_exposition(prometheus_text(m))
+        assert samples[("repro_serve_latency_ms",
+                        '{replica="0",quantile="0.5"}')] == 10.0
+        assert samples[("repro_serve_latency_ms",
+                        '{replica="1",quantile="0.5"}')] == 40.0
+        assert samples[("repro_serve_latency_ms_sum",
+                        '{replica="0"}')] == 20.0
+        assert samples[("repro_serve_latency_ms_count",
+                        '{replica="1"}')] == 1.0
+
+
+class TestLabelEscaping:
+    """Label values are operator-controlled strings (drop reasons,
+    version strings) — backslash, double-quote and newline must be
+    escaped per the exposition format or one weird reason corrupts
+    the whole scrape."""
+
+    def test_quote_in_reason_escaped(self):
+        m = MetricsRegistry()
+        m.inc('serve.dropped.reason.bad"reason')
+        text = prometheus_text(m)
+        assert '{reason="bad\\"reason"}' in text
+
+    def test_backslash_in_reason_escaped(self):
+        m = MetricsRegistry()
+        m.inc("serve.dropped.reason.a\\b")
+        text = prometheus_text(m)
+        assert '{reason="a\\\\b"}' in text
+
+    def test_newline_in_label_value_never_splits_a_line(self):
+        m = MetricsRegistry()
+        m.inc("serve.dropped.reason.two\nlines")
+        text = prometheus_text(m)
+        assert '{reason="two\\nlines"}' in text
+        # every physical line still parses under the grammar
+        parse_exposition(text)
+
+    def test_build_info_version_escaped(self):
+        m = MetricsRegistry()
+        text = prometheus_text(m, build_info='v"1\n\\x')
+        line = next(l for l in text.splitlines()
+                    if l.startswith("repro_build_info"))
+        assert line == 'repro_build_info{version="v\\"1\\n\\\\x"} 1'
+
+    def test_escaped_document_stays_grammatical(self):
+        m = MetricsRegistry()
+        m.inc('serve.dropped.reason.oops"\\')
+        m.gauge("fleet.replica_up.replica.0", 1)
+        samples = parse_exposition(prometheus_text(m))
+        assert samples  # nothing got mangled into an unparseable line

@@ -1,0 +1,180 @@
+"""TimeSeriesStore windowed queries + MetricsScraper behaviour."""
+
+import pytest
+
+from repro.obs import MetricsScraper, TimeSeriesStore
+
+
+class FakeClock:
+    """Deterministic injectable clock: tests advance it explicitly."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> float:
+        self.t += dt
+        return self.t
+
+
+class TestStore:
+    def test_record_and_series_roundtrip(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(8, clock=clock)
+        store.record("a", 1.0)
+        clock.advance(1.0)
+        store.record("a", 2.0)
+        assert store.series("a") == [(0.0, 1.0), (1.0, 2.0)]
+        assert store.latest("a") == 2.0
+        assert store.latest("missing", default=-1.0) == -1.0
+
+    def test_ring_buffer_evicts_oldest(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(4, clock=clock)
+        for i in range(10):
+            store.record("a", float(i), t=float(i))
+        points = store.series("a")
+        assert len(points) == 4
+        assert points[0] == (6.0, 6.0) and points[-1] == (9.0, 9.0)
+
+    def test_ingest_stamps_one_instant(self):
+        clock = FakeClock(5.0)
+        store = TimeSeriesStore(8, clock=clock)
+        store.ingest({"a": 1.0, "b": 2.0})
+        assert store.series("a") == [(5.0, 1.0)]
+        assert store.series("b") == [(5.0, 2.0)]
+
+    def test_names_sorted_and_prefixed(self):
+        store = TimeSeriesStore(8, clock=FakeClock())
+        for name in ("serve.b", "fleet.a", "serve.a"):
+            store.record(name, 0.0)
+        assert store.names() == ["fleet.a", "serve.a", "serve.b"]
+        assert store.names("serve.") == ["serve.a", "serve.b"]
+
+    def test_window_filters_by_time(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(32, clock=clock)
+        for i in range(10):
+            store.record("a", float(i), t=float(i))
+        clock.t = 9.0
+        assert [v for _, v in store.window("a", 3.0)] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_rate_over_window(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(32, clock=clock)
+        # a counter climbing 2/s for 5 seconds
+        for i in range(6):
+            store.record("completed", 2.0 * i, t=float(i))
+        clock.t = 5.0
+        assert store.rate("completed", 5.0) == pytest.approx(2.0)
+
+    def test_rate_needs_two_samples_and_clamps_resets(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(8, clock=clock)
+        assert store.rate("a", 5.0) == 0.0
+        store.record("a", 100.0, t=0.0)
+        clock.t = 1.0
+        assert store.rate("a", 5.0) == 0.0  # one sample
+        # counter reset (replica restart): never a negative rate
+        store.record("a", 3.0, t=1.0)
+        assert store.rate("a", 5.0) == 0.0
+
+    def test_flat_series_rates_as_zero(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(8, clock=clock)
+        for i in range(4):
+            store.record("a", 7.0, t=float(i))
+        clock.t = 3.0
+        assert store.rate("a", 10.0) == 0.0
+
+    def test_delta_over_window(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(8, clock=clock)
+        store.record("drops", 1.0, t=0.0)
+        store.record("drops", 6.0, t=2.0)
+        clock.t = 2.0
+        assert store.delta("drops", 5.0) == pytest.approx(5.0)
+        assert store.delta("drops", 0.5) == 0.0  # only one sample inside
+
+    def test_percentile_and_mean(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(256, clock=clock)
+        for i in range(101):
+            store.record("lat", float(i), t=float(i))
+        clock.t = 100.0
+        assert store.percentile("lat", 0.5) == pytest.approx(50.0)
+        assert store.percentile("lat", 0.95) == pytest.approx(95.0)
+        assert store.mean("lat") == pytest.approx(50.0)
+        # windowed variants see only the tail
+        assert store.percentile("lat", 0.0, seconds=10.0) == 90.0
+        assert store.mean("lat", seconds=10.0) == pytest.approx(95.0)
+
+    def test_percentile_validates_q(self):
+        store = TimeSeriesStore(8, clock=FakeClock())
+        with pytest.raises(ValueError, match="quantile"):
+            store.percentile("a", 1.5)
+
+    def test_bad_max_samples_rejected(self):
+        with pytest.raises(ValueError, match="max_samples"):
+            TimeSeriesStore(1)
+
+    def test_to_dict_is_json_shaped(self):
+        clock = FakeClock(2.0)
+        store = TimeSeriesStore(8, clock=clock)
+        store.record("a", 1.5)
+        doc = store.to_dict()
+        assert doc["max_samples"] == 8
+        assert doc["series"] == {"a": [[2.0, 1.5]]}
+
+
+class TestScraper:
+    def test_scrape_once_ingests_and_counts(self):
+        store = TimeSeriesStore(8, clock=FakeClock())
+        scraper = MetricsScraper(lambda: {"a": 1.0}, store)
+        assert scraper.scrape_once()
+        assert scraper.scrapes == 1 and scraper.errors == 0
+        assert store.latest("a") == 1.0
+
+    def test_source_errors_counted_not_raised(self):
+        store = TimeSeriesStore(8, clock=FakeClock())
+
+        def dying():
+            raise RuntimeError("replica went away")
+
+        scraper = MetricsScraper(dying, store)
+        assert not scraper.scrape_once()
+        assert scraper.errors == 1 and scraper.scrapes == 0
+
+    def test_hook_runs_after_ingest_and_errors_counted(self):
+        store = TimeSeriesStore(8, clock=FakeClock())
+        seen: list[float] = []
+        scraper = MetricsScraper(
+            lambda: {"a": 42.0}, store,
+            hook=lambda: seen.append(store.latest("a")))
+        scraper.scrape_once()
+        assert seen == [42.0]  # the hook observes the fresh sample
+
+        def bad_hook():
+            raise RuntimeError("detector bug")
+
+        scraper.hook = bad_hook
+        assert scraper.scrape_once()  # the scrape itself still succeeds
+        assert scraper.errors == 1
+
+    def test_background_thread_scrapes_repeatedly(self):
+        import time
+
+        store = TimeSeriesStore(64)
+        with MetricsScraper(lambda: {"a": 1.0}, store,
+                            interval_s=0.01) as scraper:
+            deadline = time.monotonic() + 5.0
+            while scraper.scrapes < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert scraper.scrapes >= 3
+        assert len(store.series("a")) >= 3
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            MetricsScraper(dict, TimeSeriesStore(8), interval_s=0.0)
